@@ -1,0 +1,46 @@
+"""Benchmark harness for the simulated collectives (substrate engineering metrics).
+
+Times the simulated All-Gather / Reduce-Scatter on realistic group sizes and
+checks their charged costs against the closed-form bucket expressions — the
+quantities every parallel measurement in the reproduction rests on.
+"""
+
+import numpy as np
+
+from repro.parallel.collectives import (
+    all_gather,
+    bucket_all_gather_cost,
+    bucket_reduce_scatter_cost,
+    reduce_scatter,
+)
+from repro.parallel.machine import SimulatedMachine
+
+
+def test_all_gather_cost_and_runtime(benchmark):
+    """All-Gather of 16 blocks of 4096 words each."""
+    group = list(range(16))
+    blocks = {r: np.full(4096, float(r)) for r in group}
+
+    def run():
+        machine = SimulatedMachine(16)
+        out = all_gather(machine, group, blocks)
+        return machine, out
+
+    machine, out = benchmark(run)
+    assert out[0].size == 16 * 4096
+    assert machine.words_sent[0] == bucket_all_gather_cost(16, 4096)
+
+
+def test_reduce_scatter_cost_and_runtime(benchmark):
+    """Reduce-Scatter of 16 contributions of 64x64 each."""
+    group = list(range(16))
+    contributions = {r: np.full((64, 64), 1.0) for r in group}
+
+    def run():
+        machine = SimulatedMachine(16)
+        out = reduce_scatter(machine, group, contributions)
+        return machine, out
+
+    machine, out = benchmark(run)
+    assert np.all(out[0] == 16.0)
+    assert machine.words_sent[0] == bucket_reduce_scatter_cost(16, out[0].size)

@@ -1,0 +1,63 @@
+"""Benchmark / reproduction harness for experiment ``tab-cp-als``.
+
+The CP-ALS workload that motivates MTTKRP (Section II-A): recovery quality and
+runtime of sequential CP-ALS, and the per-iteration communication of CP-ALS
+with every MTTKRP executed on the simulated distributed machine.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bounds.parallel import combined_parallel_lower_bound
+from repro.cp.als import cp_als
+from repro.cp.parallel_als import parallel_cp_als
+from repro.tensor.random import noisy_low_rank_tensor
+
+
+def test_cp_als_recovery(benchmark):
+    """Sequential CP-ALS recovery of a noisy rank-4 tensor."""
+    tensor = noisy_low_rank_tensor((20, 18, 16), 4, noise_level=0.01, seed=0)
+    result = benchmark.pedantic(
+        cp_als,
+        args=(tensor, 4),
+        kwargs={"n_iter_max": 60, "tol": 1e-9, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "CP-ALS recovery (20x18x16, rank 4, 1% noise)",
+        f"  iterations: {result.n_iterations}\n  final fit : {result.final_fit:.5f}",
+    )
+    assert result.final_fit > 0.98
+    benchmark.extra_info["final_fit"] = round(result.final_fit, 5)
+
+
+def test_cp_als_iteration_runtime(benchmark):
+    """Wall-clock of one ALS sweep on a moderate dense tensor (engineering metric)."""
+    tensor = noisy_low_rank_tensor((24, 24, 24), 6, noise_level=0.05, seed=2)
+    benchmark(cp_als, tensor, 6, n_iter_max=2, tol=0.0, seed=3)
+
+
+def test_parallel_cp_als_communication(benchmark):
+    """Per-iteration MTTKRP communication of simulated-parallel CP-ALS vs the bound."""
+    shape, rank, n_procs = (16, 16, 16), 4, 8
+    tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.01, seed=4)
+    result = benchmark.pedantic(
+        parallel_cp_als,
+        args=(tensor, rank, n_procs),
+        kwargs={"n_iter_max": 40, "tol": 1e-10, "seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+    per_iter = result.words_per_iteration[0]
+    bound = combined_parallel_lower_bound(shape, rank, n_procs).combined
+    emit(
+        "Simulated-parallel CP-ALS (P = 8, Algorithm 3)",
+        f"  words/processor/iteration : {per_iter:,}\n"
+        f"  single-MTTKRP lower bound : {bound:.0f}\n"
+        f"  final fit                 : {result.als.final_fit:.5f}",
+    )
+    # one sweep = N MTTKRPs, so the per-iteration traffic is at least N/2 bounds' worth
+    assert 2 * per_iter >= bound
+    assert result.als.final_fit > 0.9
+    benchmark.extra_info["words_per_iteration"] = per_iter

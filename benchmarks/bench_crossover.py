@@ -1,0 +1,37 @@
+"""Benchmark / reproduction harness for experiment ``tab-crossover``.
+
+Locates, for several problem configurations, the processor count beyond which
+Algorithm 4 (general) communicates less than Algorithm 3 (stationary), and
+compares it with the analytic threshold ``P = I / (NR)^{N/(N-1)}`` from
+Section VI-B.
+"""
+
+from conftest import emit
+from repro.experiments.crossover import crossover_rows, format_crossover_table
+
+
+def test_crossover_sweep(benchmark):
+    """Find the empirical Alg3/Alg4 crossover for several (shape, R) configurations."""
+    rows = benchmark.pedantic(crossover_rows, rounds=1, iterations=1)
+    emit("Algorithm 3 / Algorithm 4 crossover (Section VI-B)", format_crossover_table(rows))
+    for row in rows:
+        assert row.empirical_crossover is not None, f"no crossover found for {row.shape}"
+        # the empirical crossover should sit within a couple of orders of
+        # magnitude of the asymptotic threshold (which has no constants)
+        assert row.analytic_crossover / 64 <= row.empirical_crossover <= row.analytic_crossover * 64
+        assert row.max_advantage > 1.0
+    benchmark.extra_info["max_alg3_over_alg4"] = round(max(r.max_advantage for r in rows), 2)
+
+
+def test_crossover_figure4_configuration(benchmark):
+    """The crossover for the Figure 4 problem itself (paper: divergence ~2^27)."""
+    rows = benchmark.pedantic(
+        crossover_rows,
+        kwargs={"configurations": [((2**15, 2**15, 2**15), 2**15)], "log2_p_max": 30},
+        rounds=1,
+        iterations=1,
+    )
+    row = rows[0]
+    assert row.empirical_crossover is not None
+    assert 2**20 <= row.empirical_crossover <= 2**30
+    benchmark.extra_info["figure4_crossover_P"] = row.empirical_crossover

@@ -1,0 +1,44 @@
+"""Benchmark / reproduction harness for experiment ``fig1-projections`` (Figure 1).
+
+Regenerates the projection sizes and HBL bound of the paper's Figure 1
+example and times the projection machinery on larger random subsets (the cost
+of evaluating the bound itself, which the lower-bound tooling relies on).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bounds.hbl import projection_counts, verify_hbl_inequality
+from repro.experiments.figure1 import figure1_projection_report, format_figure1_report
+
+
+def test_figure1_report(benchmark):
+    """Regenerate Figure 1's projections and bound."""
+    report = benchmark(figure1_projection_report)
+    assert report.n_points == 6
+    assert report.projection_sizes == [6, 6, 6, 6]
+    benchmark.extra_info["hbl_bound"] = report.hbl_bound
+    emit("Figure 1 reproduction", format_figure1_report(report))
+
+
+def test_projection_throughput_large_subset(benchmark):
+    """Time the projection computation on a 100k-point random subset (N=4)."""
+    rng = np.random.default_rng(0)
+    points = rng.integers(0, 64, size=(100_000, 5))
+
+    def run():
+        return projection_counts(points, 4)
+
+    sizes = benchmark(run)
+    assert len(sizes) == 5
+
+
+def test_hbl_verification_structured_block(benchmark):
+    """HBL bound on a full sub-block, the extremal (near-tight) configuration."""
+    points = [
+        (i, j, k, r) for i in range(8) for j in range(8) for k in range(8) for r in range(8)
+    ]
+    count, bound = benchmark(verify_hbl_inequality, points, 3)
+    assert count == 8**4
+    # for a full block with I = R the bound is exact
+    assert np.isclose(bound, count, rtol=1e-9)

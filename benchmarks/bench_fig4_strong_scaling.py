@@ -1,0 +1,36 @@
+"""Benchmark / reproduction harness for experiment ``fig4-strong-scaling`` (Figure 4).
+
+Regenerates the paper's modeled strong-scaling series (I = 2^45, R = 2^15,
+P = 2^0..2^30) comparing the matmul baseline against Algorithms 3 and 4, and
+records the headline claims (advantage at P = 2^17, divergence point of the
+two proposed algorithms, baseline never winning).
+"""
+
+from conftest import emit
+from repro.experiments.figure4 import figure4_rows, format_figure4_table
+
+
+def test_figure4_series(benchmark):
+    """Regenerate the full Figure 4 series from the cost models."""
+    summary = benchmark.pedantic(figure4_rows, rounds=1, iterations=1)
+    emit("Figure 4 reproduction (modeled strong scaling)", format_figure4_table(summary))
+
+    # Shape checks corresponding to the paper's claims about the figure.
+    assert summary.baseline_always_worse, "proposed algorithms should never lose to matmul"
+    assert summary.divergence_p is not None and summary.divergence_p >= 2**20
+    assert 5.0 <= summary.ratio_at_2_17 <= 60.0
+
+    benchmark.extra_info["ratio_at_2^17_vs_paper_25x"] = round(summary.ratio_at_2_17, 2)
+    benchmark.extra_info["alg3_alg4_divergence_P"] = summary.divergence_p
+
+
+def test_figure4_smaller_problem(benchmark):
+    """The same comparison for a smaller cubical problem (shape robustness check)."""
+    summary = benchmark.pedantic(
+        figure4_rows,
+        kwargs={"shape": (2**10, 2**10, 2**10), "rank": 2**8, "log2_p_max": 24},
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.baseline_always_worse
+    assert summary.divergence_p is not None

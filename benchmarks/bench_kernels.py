@@ -1,0 +1,49 @@
+"""Benchmark / reproduction harness for experiment ``tab-kernel-throughput``.
+
+Raw single-node throughput of the MTTKRP kernels (engineering numbers, not a
+paper artifact): the einsum kernel, the explicit-KRP matmul baseline, and the
+atomic-vs-factored local kernel ablation of Eq. (17).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import mttkrp, mttkrp_flops
+from repro.core.matmul_baseline import mttkrp_via_matmul
+from repro.tensor.random import random_factors, random_tensor
+
+SHAPES = [((64, 64, 64), 16), ((32, 32, 32, 8), 8), ((128, 96, 48), 32)]
+
+
+@pytest.mark.parametrize("shape,rank", SHAPES, ids=[f"{s}-R{r}" for s, r in SHAPES])
+def test_einsum_kernel_throughput(benchmark, shape, rank):
+    """Throughput of the einsum-based kernel used by the blocked/parallel algorithms."""
+    tensor = random_tensor(shape, seed=0)
+    factors = random_factors(shape, rank, seed=1)
+    result = benchmark(mttkrp, tensor, factors, 0)
+    assert result.shape == (shape[0], rank)
+    benchmark.extra_info["atomic_flops"] = mttkrp_flops(shape, rank)
+
+
+@pytest.mark.parametrize("shape,rank", SHAPES[:2], ids=[f"{s}-R{r}" for s, r in SHAPES[:2]])
+def test_matmul_baseline_throughput(benchmark, shape, rank):
+    """Throughput of the explicit-KRP + GEMM baseline (Section III-B)."""
+    tensor = random_tensor(shape, seed=2)
+    factors = random_factors(shape, rank, seed=3)
+    result = benchmark(mttkrp_via_matmul, tensor, factors, 0)
+    assert result.shape == (shape[0], rank)
+
+
+def test_all_modes_sweep(benchmark):
+    """One MTTKRP per mode (the CP-ALS inner loop pattern) on a 64^3 tensor."""
+    shape, rank = (64, 64, 64), 16
+    tensor = random_tensor(shape, seed=4)
+    factors = random_factors(shape, rank, seed=5)
+
+    def sweep():
+        return [mttkrp(tensor, factors, mode) for mode in range(3)]
+
+    results = benchmark(sweep)
+    assert len(results) == 3
+    for mode in range(3):
+        assert np.allclose(results[mode], mttkrp(tensor, factors, mode))

@@ -1,0 +1,67 @@
+"""Benchmark / reproduction harness for experiment ``tab-lemmas``.
+
+Cross-checks the closed-form solutions of Lemmas 4.2, 4.3 and 4.4 against
+numeric optimisation over randomised instances and times the closed forms
+(they sit inside every bound evaluation, so they must be cheap).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.bounds.lemmas import (
+    max_product_given_sum,
+    max_product_given_sum_numeric,
+    min_sum_given_product,
+    min_sum_given_product_numeric,
+    mttkrp_lp_solution,
+    solve_mttkrp_lp_numeric,
+)
+
+
+def test_lemma_42_lp_cross_check(benchmark):
+    """Closed-form LP solution vs scipy linprog for N = 2..10."""
+
+    def run():
+        gaps = []
+        for n_modes in range(2, 11):
+            closed = mttkrp_lp_solution(n_modes)
+            numeric = solve_mttkrp_lp_numeric(n_modes)
+            gaps.append(abs(closed.objective - numeric.objective))
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Lemma 4.2 LP cross-check", f"  max |closed - numeric| objective gap: {max(gaps):.2e}")
+    assert max(gaps) < 1e-6
+
+
+def test_lemma_43_44_cross_check(benchmark):
+    """Closed forms of Lemmas 4.3/4.4 vs SLSQP on 20 random instances."""
+    rng = np.random.default_rng(0)
+    instances = [
+        (rng.uniform(0.2, 2.0, size=rng.integers(2, 6)), rng.uniform(1.0, 100.0)) for _ in range(20)
+    ]
+
+    def run():
+        worst = 0.0
+        for s, c in instances:
+            worst = max(worst, abs(max_product_given_sum(s, c) - max_product_given_sum_numeric(s, c)) / max_product_given_sum(s, c))
+            worst = max(worst, abs(min_sum_given_product(s, c) - min_sum_given_product_numeric(s, c)) / min_sum_given_product(s, c))
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Lemmas 4.3/4.4 cross-check", f"  worst relative gap closed-form vs numeric: {worst:.2e}")
+    assert worst < 1e-2
+
+
+def test_closed_form_throughput(benchmark):
+    """Closed forms must be fast enough to sit inside bound sweeps."""
+    s = np.array([1 / 3, 1 / 3, 1 / 3, 2 / 3])
+
+    def run():
+        total = 0.0
+        for c in range(1, 2000):
+            total += max_product_given_sum(s, float(c))
+        return total
+
+    total = benchmark(run)
+    assert total > 0

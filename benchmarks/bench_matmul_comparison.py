@@ -1,0 +1,61 @@
+"""Benchmark / reproduction harness for experiment ``tab-matmul-factors``.
+
+Evaluates the Section VI-B comparison against the MTTKRP-via-matmul baseline:
+the modeled advantage factors in the small-P and large-P regimes and the
+"~25x at P = 2^17" claim for the Figure 4 configuration, plus an executed
+sequential comparison of the two approaches.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.core.matmul_baseline import mttkrp_via_matmul
+from repro.core.kernels import mttkrp
+from repro.experiments.matmul_comparison import (
+    format_matmul_comparison_table,
+    matmul_comparison_rows,
+)
+from repro.sequential.blocked import sequential_blocked_mttkrp
+from repro.sequential.matmul_io import matmul_sequential_mttkrp
+from repro.tensor.random import random_factors, random_tensor
+
+
+def test_parallel_matmul_comparison(benchmark):
+    """Modeled advantage over the matmul baseline across the processor range."""
+    rows = benchmark.pedantic(matmul_comparison_rows, rounds=1, iterations=1)
+    emit("MTTKRP vs matrix-multiplication baseline (Section VI-B)", format_matmul_comparison_table(rows))
+    by_p = {row.n_procs: row for row in rows}
+    assert 5.0 <= by_p[2**17].measured_factor <= 60.0  # paper: ~25x
+    assert all(row.measured_factor >= 1.0 for row in rows)
+    benchmark.extra_info["factor_at_2^17"] = round(by_p[2**17].measured_factor, 2)
+
+
+def test_sequential_matmul_comparison_executed(benchmark):
+    """Executed sequential comparison: Algorithm 2 vs the matmul baseline's modeled I/O."""
+    shape, rank, mode, memory = (24, 24, 24), 64, 0, 512
+    tensor = random_tensor(shape, seed=0)
+    factors = random_factors(shape, rank, seed=1)
+
+    def run():
+        blocked = sequential_blocked_mttkrp(tensor, factors, mode, memory_words=memory)
+        baseline = matmul_sequential_mttkrp(tensor, factors, mode, memory_words=memory)
+        return blocked, baseline
+
+    blocked, baseline = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.allclose(blocked.result, baseline.result)
+    emit(
+        "Sequential Algorithm 2 vs matmul baseline (R large: NR >> M^(1-1/N))",
+        f"  Algorithm 2 loads+stores : {blocked.words_moved:,}\n"
+        f"  matmul baseline model    : {baseline.words_moved:,}",
+    )
+    # Section VI-A: with NR >> M^(1-1/N) the blocked algorithm communicates less.
+    assert blocked.words_moved < baseline.words_moved
+
+
+def test_matmul_kernel_runtime(benchmark):
+    """Wall-clock of the explicit-KRP matmul kernel (engineering metric)."""
+    shape, rank = (32, 32, 32), 16
+    tensor = random_tensor(shape, seed=2)
+    factors = random_factors(shape, rank, seed=3)
+    result = benchmark(mttkrp_via_matmul, tensor, factors, 0)
+    assert np.allclose(result, mttkrp(tensor, factors, 0))

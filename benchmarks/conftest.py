@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Mirrors tests/conftest.py: make the benchmarks runnable without an installed
+package, and provide a helper for printing the regenerated paper artifacts so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction harness.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    src = Path(__file__).resolve().parent.parent / "src"
+    sys.path.insert(0, str(src))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table with a banner (visible with ``-s`` or on failure)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""CP decomposition of a noisy low-rank tensor, sequentially and in simulated parallel.
+
+MTTKRP is the bottleneck of CP-ALS (Section II of the paper); this example
+shows the workload end to end:
+
+1. build a synthetic rank-5 tensor with 1% noise,
+2. recover it with sequential CP-ALS,
+3. run the same decomposition with every MTTKRP executed on the simulated
+   distributed machine (Algorithm 3), and
+4. report the fit and the communication the MTTKRPs required per iteration.
+
+Run with ``python examples/cp_als_demo.py``.
+"""
+
+from repro import cp_als, noisy_low_rank_tensor, parallel_cp_als
+
+
+def main() -> None:
+    shape = (30, 25, 20)
+    rank = 5
+    tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.01, seed=7)
+    print(f"Synthetic tensor: {shape}, true rank {rank}, 1% noise")
+
+    sequential = cp_als(tensor, rank, n_iter_max=100, tol=1e-8, seed=3)
+    print("\nSequential CP-ALS")
+    print(f"  iterations : {sequential.n_iterations}")
+    print(f"  converged  : {sequential.converged}")
+    print(f"  final fit  : {sequential.final_fit:.6f}")
+    print(f"  MTTKRP calls: {sequential.mttkrp_calls}")
+
+    n_procs = 8
+    parallel = parallel_cp_als(tensor, rank, n_procs=n_procs, n_iter_max=20, tol=1e-8, seed=3)
+    print(f"\nSimulated-parallel CP-ALS (P = {n_procs}, Algorithm 3, grid {parallel.grids[0]})")
+    print(f"  final fit                 : {parallel.als.final_fit:.6f}")
+    print(f"  iterations                : {parallel.als.n_iterations}")
+    if parallel.words_per_iteration:
+        print(f"  words/processor/iteration : {parallel.words_per_iteration[0]:,}")
+    print(f"  words/processor total     : {parallel.total_words:,}")
+
+    leading = parallel.als.model.weights[: min(5, rank)]
+    print("\nLeading recovered component weights:", [f"{w:.3f}" for w in leading])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate Figure 4: modeled strong-scaling comparison at the paper's scale.
+
+The paper's Figure 4 compares, for a 3-way cubical tensor with I = 2^45
+entries and rank R = 2^15, the modeled per-processor communication of
+
+* MTTKRP via communication-optimal matrix multiplication (CARMA),
+* Algorithm 3 (stationary tensor), and
+* Algorithm 4 (general),
+
+over P = 2^0 .. 2^30 processors.  This script prints the same series (plus
+the combined lower bound) and the headline comparisons the paper draws from
+the figure.  Everything is evaluated from the analytic cost models — the same
+way the figure was produced in the paper.
+
+Run with ``python examples/strong_scaling_model.py``.
+Optional arguments: ``--log2-i 36 --log2-r 12`` to model a different problem.
+"""
+
+import argparse
+
+from repro.experiments.figure4 import figure4_rows, format_figure4_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--log2-i", type=int, default=45, help="log2 of the number of tensor entries")
+    parser.add_argument("--log2-r", type=int, default=15, help="log2 of the CP rank")
+    parser.add_argument("--log2-p-max", type=int, default=30, help="largest log2 processor count")
+    args = parser.parse_args()
+
+    side = 2 ** (args.log2_i // 3)
+    shape = (side, side, side)
+    rank = 2**args.log2_r
+    summary = figure4_rows(shape=shape, rank=rank, log2_p_max=args.log2_p_max, log2_p_step=1)
+    print(format_figure4_table(summary, log2_p_step=2))
+
+
+if __name__ == "__main__":
+    main()

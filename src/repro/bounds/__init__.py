@@ -1,0 +1,70 @@
+"""Communication lower bounds for dense MTTKRP (Section IV of the paper).
+
+The subpackage is organised by the structure of Section IV:
+
+* :mod:`repro.bounds.lemmas` — the supporting optimisation results:
+  Lemma 4.2 (a small linear program), Lemma 4.3 (maximum of a monomial under
+  a sum constraint) and Lemma 4.4 (minimum of a sum under a monomial
+  constraint), each implemented both in closed form and as a numeric
+  cross-check using :mod:`scipy.optimize`.
+* :mod:`repro.bounds.hbl` — the Hölder-Brascamp-Lieb machinery of Lemma 4.1:
+  the MTTKRP constraint matrix Δ, the array projections φ_j of a subset of
+  the iteration space, and an empirical verifier of the inequality.
+* :mod:`repro.bounds.sequential` — Theorem 4.1 (memory-dependent bound) and
+  Fact 4.1 (input/output bound).
+* :mod:`repro.bounds.parallel` — Corollary 4.1 (memory-dependent parallel
+  bound), Theorems 4.2 and 4.3 (memory-independent bounds) and Corollary 4.2
+  (combined bound for cubical tensors).
+"""
+
+from repro.bounds.lemmas import (
+    mttkrp_lp_solution,
+    solve_mttkrp_lp_numeric,
+    max_product_given_sum,
+    max_product_given_sum_numeric,
+    min_sum_given_product,
+    min_sum_given_product_numeric,
+)
+from repro.bounds.hbl import (
+    mttkrp_delta_matrix,
+    mttkrp_projections,
+    projection_counts,
+    hbl_bound,
+    verify_hbl_inequality,
+    max_iterations_per_segment,
+)
+from repro.bounds.sequential import (
+    memory_dependent_lower_bound,
+    io_lower_bound,
+    sequential_lower_bound,
+)
+from repro.bounds.parallel import (
+    parallel_memory_dependent_lower_bound,
+    memory_independent_lower_bound_flops,
+    memory_independent_lower_bound_tensor,
+    cubical_lower_bound,
+    combined_parallel_lower_bound,
+)
+
+__all__ = [
+    "mttkrp_lp_solution",
+    "solve_mttkrp_lp_numeric",
+    "max_product_given_sum",
+    "max_product_given_sum_numeric",
+    "min_sum_given_product",
+    "min_sum_given_product_numeric",
+    "mttkrp_delta_matrix",
+    "mttkrp_projections",
+    "projection_counts",
+    "hbl_bound",
+    "verify_hbl_inequality",
+    "max_iterations_per_segment",
+    "memory_dependent_lower_bound",
+    "io_lower_bound",
+    "sequential_lower_bound",
+    "parallel_memory_dependent_lower_bound",
+    "memory_independent_lower_bound_flops",
+    "memory_independent_lower_bound_tensor",
+    "cubical_lower_bound",
+    "combined_parallel_lower_bound",
+]

@@ -1,0 +1,162 @@
+"""Hölder-Brascamp-Lieb machinery for MTTKRP (Lemma 4.1 and Figure 1).
+
+A point of the MTTKRP iteration space is an ``(N+1)``-tuple
+``(i_1, ..., i_N, r)``.  The data touched by a set ``F`` of iteration points
+is described by ``N + 1`` projections:
+
+* ``φ_k(F)`` for ``k = 1..N`` extracts ``(i_k, r)`` — the entries of the
+  ``k``-th factor matrix (input for ``k != n``, output for ``k = n``);
+* ``φ_{N+1}(F)`` extracts ``(i_1, ..., i_N)`` — the entries of the tensor.
+
+Lemma 4.1 bounds ``|F| <= prod_j |φ_j(F)|^{s_j}`` for any feasible exponent
+vector ``s`` of the LP of Lemma 4.2.  This module provides the projections,
+the bound, an empirical verifier used by the tests (and by the Figure 1
+reproduction), and the per-segment iteration bound used in Theorem 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.bounds.lemmas import (
+    max_product_given_sum,
+    mttkrp_constraint_matrix,
+    mttkrp_lp_solution,
+    segment_constant,
+)
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_positive_int
+
+
+def mttkrp_delta_matrix(n_modes: int) -> np.ndarray:
+    """Constraint matrix Δ of the MTTKRP HBL inequality (see Lemma 4.1/4.2)."""
+    return mttkrp_constraint_matrix(n_modes)
+
+
+def mttkrp_projections(
+    points: Iterable[Sequence[int]], n_modes: int
+) -> List[Set[Tuple[int, ...]]]:
+    """Projections ``φ_1(F), ..., φ_{N+1}(F)`` of a set of iteration points.
+
+    Parameters
+    ----------
+    points:
+        Iterable of ``(N+1)``-tuples ``(i_1, ..., i_N, r)``.
+    n_modes:
+        Number of tensor modes ``N``.
+
+    Returns
+    -------
+    list of sets
+        ``N + 1`` sets of tuples: the first ``N`` are factor-matrix
+        coordinate sets ``{(i_k, r)}``, the last is the tensor coordinate set
+        ``{(i_1, ..., i_N)}``.  This is exactly the decomposition illustrated
+        in Figure 1 of the paper.
+    """
+    n_modes = check_positive_int(n_modes, "n_modes", minimum=2)
+    projections: List[Set[Tuple[int, ...]]] = [set() for _ in range(n_modes + 1)]
+    for point in points:
+        point = tuple(int(v) for v in point)
+        if len(point) != n_modes + 1:
+            raise ParameterError(
+                f"iteration points must have length N+1={n_modes + 1}, got {len(point)}"
+            )
+        rank_index = point[-1]
+        for k in range(n_modes):
+            projections[k].add((point[k], rank_index))
+        projections[n_modes].add(point[:-1])
+    return projections
+
+
+def projection_counts(points: Iterable[Sequence[int]], n_modes: int) -> List[int]:
+    """Sizes ``|φ_j(F)|`` of the projections of a set of iteration points."""
+    return [len(p) for p in mttkrp_projections(points, n_modes)]
+
+
+def hbl_bound(
+    projection_sizes: Sequence[int], *, exponents: Optional[Sequence[float]] = None
+) -> float:
+    """The HBL upper bound ``prod_j |φ_j(F)|^{s_j}`` on ``|F|`` (Lemma 4.1).
+
+    Parameters
+    ----------
+    projection_sizes:
+        The ``N + 1`` projection sizes ``|φ_j(F)|``.
+    exponents:
+        Feasible exponent vector ``s``; defaults to the optimal
+        ``s* = (1/N, ..., 1/N, 1 - 1/N)`` of Lemma 4.2.
+    """
+    sizes = np.asarray(projection_sizes, dtype=np.float64)
+    if np.any(sizes < 0):
+        raise ParameterError("projection sizes must be non-negative")
+    n_modes = len(sizes) - 1
+    if n_modes < 2:
+        raise ParameterError("need at least 3 projection sizes (N >= 2)")
+    if exponents is None:
+        exponents = mttkrp_lp_solution(n_modes).s
+    exponents = np.asarray(exponents, dtype=np.float64)
+    if exponents.shape != sizes.shape:
+        raise ParameterError("exponents must have the same length as projection_sizes")
+    # 0^s = 0 for s > 0; an empty projection forces |F| = 0.
+    if np.any((sizes == 0) & (exponents > 0)):
+        return 0.0
+    with np.errstate(divide="ignore"):
+        log_value = float(np.sum(exponents[sizes > 0] * np.log(sizes[sizes > 0])))
+    return float(np.exp(log_value))
+
+
+def verify_hbl_inequality(
+    points: Iterable[Sequence[int]], n_modes: int, *, exponents: Optional[Sequence[float]] = None
+) -> Tuple[int, float]:
+    """Return ``(|F|, bound)`` for a concrete point set; Lemma 4.1 says ``|F| <= bound``.
+
+    Used by the tests and by the Figure 1 reproduction: for the example of
+    Figure 1, ``|F| = 6`` and the four projections each have 6 elements, so
+    the bound evaluates to ``6^(2 - 1/3) = 6^(5/3)``.
+    """
+    point_set = {tuple(int(v) for v in p) for p in points}
+    sizes = projection_counts(point_set, n_modes)
+    return len(point_set), hbl_bound(sizes, exponents=exponents)
+
+
+def max_iterations_per_segment(n_modes: int, memory_words: int, *, exact_constant: bool = False) -> float:
+    """Upper bound on N-ary multiplies evaluable in a segment of ``M`` loads/stores.
+
+    The proof of Theorem 4.1 shows a segment touches at most ``3M`` array
+    entries, so by Lemmas 4.1-4.3 the number of iterations is at most
+    ``(3M)^{2-1/N} * prod_j (s*_j / sum s*_i)^{s*_j} <= (3M)^{2-1/N} / N``.
+
+    Parameters
+    ----------
+    n_modes:
+        Number of tensor modes ``N``.
+    memory_words:
+        Fast-memory capacity ``M``.
+    exact_constant:
+        When ``True``, use the exact constant from Lemma 4.3 instead of the
+        simplified ``1/N`` upper bound.
+    """
+    n_modes = check_positive_int(n_modes, "n_modes", minimum=2)
+    memory_words = check_positive_int(memory_words, "memory_words", minimum=1)
+    s = mttkrp_lp_solution(n_modes).s
+    if exact_constant:
+        return max_product_given_sum(s, 3.0 * memory_words)
+    return (3.0 * memory_words) ** (2.0 - 1.0 / n_modes) / n_modes
+
+
+def figure1_example_points() -> List[Tuple[int, int, int, int]]:
+    """The six iteration-space points of Figure 1 (N=3, I_k=15, R=4).
+
+    Coordinates are 1-based in the paper; they are returned 1-based here as
+    well because only set sizes matter for the projections.
+    """
+    return [
+        (5, 1, 1, 1),
+        (3, 3, 15, 1),
+        (7, 10, 2, 2),
+        (4, 14, 11, 3),
+        (11, 2, 2, 4),
+        (14, 14, 14, 4),
+    ]

@@ -1,0 +1,177 @@
+"""Parallel communication lower bounds (Corollary 4.1, Theorems 4.2/4.3, Corollary 4.2).
+
+All bounds are per-processor words (sends + receives) for a single dense
+MTTKRP with tensor dimensions ``I_1 x ... x I_N`` and rank ``R`` on ``P``
+processors.  The memory-independent bounds take the load-balance parameters
+``γ`` (tensor) and ``δ`` (factor matrices) of the paper; with the default
+``γ = δ = 1`` they correspond to perfectly balanced initial/final data
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bounds.sequential import factor_entries, memory_dependent_lower_bound, tensor_size
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_positive_int, check_rank, check_shape
+
+
+def parallel_memory_dependent_lower_bound(
+    shape: Sequence[int], rank: int, processors: int, memory_words: int
+) -> float:
+    """Corollary 4.1: memory-dependent parallel bound.
+
+    ``W >= N I R / (3^(2-1/N) P M^(1-1/N)) - M`` — obtained by applying
+    Theorem 4.1 to the processor that performs at least ``I R / P`` loop
+    iterations.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    processors = check_positive_int(processors, "processors")
+    memory_words = check_positive_int(memory_words, "memory_words")
+    n_modes = len(shape)
+    total = tensor_size(shape)
+    leading = (
+        n_modes
+        * total
+        * rank
+        / (3.0 ** (2.0 - 1.0 / n_modes) * processors * memory_words ** (1.0 - 1.0 / n_modes))
+    )
+    return leading - memory_words
+
+
+def memory_independent_lower_bound_flops(
+    shape: Sequence[int],
+    rank: int,
+    processors: int,
+    *,
+    gamma: float = 1.0,
+    delta: float = 1.0,
+) -> float:
+    """Theorem 4.2 (Eq. (6)): the "flops-based" memory-independent bound.
+
+    ``W >= 2 (N I R / P)^{N/(2N-1)} - γ I / P - δ sum_k I_k R / P``
+
+    Parameters
+    ----------
+    gamma, delta:
+        Load-imbalance factors: no processor initially/finally owns more than
+        ``γ I / P`` tensor entries or ``δ sum_k I_k R / P`` factor entries.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    processors = check_positive_int(processors, "processors")
+    if gamma < 1.0 or delta < 1.0:
+        raise ParameterError("gamma and delta must be >= 1")
+    n_modes = len(shape)
+    total = tensor_size(shape)
+    exponent = n_modes / (2.0 * n_modes - 1.0)
+    leading = 2.0 * (n_modes * total * rank / processors) ** exponent
+    return leading - gamma * total / processors - delta * factor_entries(shape, rank) / processors
+
+
+def memory_independent_lower_bound_tensor(
+    shape: Sequence[int],
+    rank: int,
+    processors: int,
+    *,
+    gamma: float = 1.0,
+    delta: float = 1.0,
+    proof_constant: bool = False,
+) -> float:
+    """Theorem 4.3 (Eq. (7)): the "tensor-access" memory-independent bound.
+
+    ``W >= min( sqrt(2/(3γ)) N R (I/P)^{1/N} - δ sum_k I_k R / P ,  γ I / (2P) )``
+
+    Parameters
+    ----------
+    proof_constant:
+        The theorem statement uses the constant ``sqrt(2/(3γ))``; its proof
+        derives the slightly different constant ``(2/(3γ))^{(N-1)/N}``.  Set
+        this flag to evaluate the proof's constant instead (the difference is
+        immaterial for the comparisons in Section VI).
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    processors = check_positive_int(processors, "processors")
+    if gamma < 1.0 or delta < 1.0:
+        raise ParameterError("gamma and delta must be >= 1")
+    n_modes = len(shape)
+    total = tensor_size(shape)
+    if proof_constant:
+        constant = (2.0 / (3.0 * gamma)) ** ((n_modes - 1.0) / n_modes)
+    else:
+        constant = (2.0 / (3.0 * gamma)) ** 0.5
+    factor_branch = (
+        constant * n_modes * rank * (total / processors) ** (1.0 / n_modes)
+        - delta * factor_entries(shape, rank) / processors
+    )
+    tensor_branch = gamma * total / (2.0 * processors)
+    return min(factor_branch, tensor_branch)
+
+
+def cubical_lower_bound(total_size: int, n_modes: int, rank: int, processors: int) -> float:
+    """Corollary 4.2: combined asymptotic bound for cubical tensors.
+
+    ``W = Ω( (N I R / P)^{N/(2N-1)} + N R (I/P)^{1/N} )`` — returned with unit
+    constants, which is the reference curve used in the strong-scaling
+    comparisons (the two terms dominate in the large-P and small-P regimes
+    respectively).
+    """
+    total_size = check_positive_int(total_size, "total_size")
+    n_modes = check_positive_int(n_modes, "n_modes", minimum=2)
+    rank = check_rank(rank)
+    processors = check_positive_int(processors, "processors")
+    exponent = n_modes / (2.0 * n_modes - 1.0)
+    flops_term = (n_modes * total_size * rank / processors) ** exponent
+    tensor_term = n_modes * rank * (total_size / processors) ** (1.0 / n_modes)
+    return flops_term + tensor_term
+
+
+@dataclass(frozen=True)
+class ParallelBounds:
+    """All parallel lower bounds evaluated for one problem configuration."""
+
+    memory_independent_flops: float
+    memory_independent_tensor: float
+    memory_dependent: Optional[float] = None
+
+    @property
+    def combined(self) -> float:
+        """The effective lower bound: the largest of the applicable bounds, clamped at 0."""
+        candidates = [self.memory_independent_flops, self.memory_independent_tensor, 0.0]
+        if self.memory_dependent is not None:
+            candidates.append(self.memory_dependent)
+        return max(candidates)
+
+
+def combined_parallel_lower_bound(
+    shape: Sequence[int],
+    rank: int,
+    processors: int,
+    *,
+    memory_words: Optional[int] = None,
+    gamma: float = 1.0,
+    delta: float = 1.0,
+) -> ParallelBounds:
+    """Evaluate every applicable parallel lower bound for one configuration.
+
+    The memory-dependent bound (Corollary 4.1) is only included when a local
+    memory size ``memory_words`` is supplied.
+    """
+    flops_bound = memory_independent_lower_bound_flops(
+        shape, rank, processors, gamma=gamma, delta=delta
+    )
+    tensor_bound = memory_independent_lower_bound_tensor(
+        shape, rank, processors, gamma=gamma, delta=delta
+    )
+    memory_bound = None
+    if memory_words is not None:
+        memory_bound = parallel_memory_dependent_lower_bound(shape, rank, processors, memory_words)
+    return ParallelBounds(
+        memory_independent_flops=flops_bound,
+        memory_independent_tensor=tensor_bound,
+        memory_dependent=memory_bound,
+    )

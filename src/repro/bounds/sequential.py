@@ -1,0 +1,100 @@
+"""Sequential communication lower bounds (Theorem 4.1 and Fact 4.1).
+
+All bounds are expressed in *words* moved between fast and slow memory
+(loads + stores) for a single dense MTTKRP with tensor dimensions
+``I_1 x ... x I_N`` and rank ``R``, on a machine with fast memory of size
+``M`` words.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.validation import check_positive_int, check_rank, check_shape
+
+
+def tensor_size(shape: Sequence[int]) -> int:
+    """Total number of tensor entries ``I = prod_k I_k``."""
+    shape = check_shape(shape)
+    total = 1
+    for dim in shape:
+        total *= dim
+    return total
+
+
+def factor_entries(shape: Sequence[int], rank: int) -> int:
+    """Total number of factor-matrix entries ``sum_k I_k * R`` (all N matrices)."""
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    return sum(shape) * rank
+
+
+def memory_dependent_lower_bound(
+    shape: Sequence[int], rank: int, memory_words: int, *, exact_segments: bool = False
+) -> float:
+    """Theorem 4.1: sequential memory-dependent lower bound (Eq. (4)).
+
+    ``W >= N * I * R / (3^(2-1/N) * M^(1-1/N)) - M``
+
+    Parameters
+    ----------
+    shape, rank:
+        Problem dimensions.
+    memory_words:
+        Fast-memory capacity ``M``.
+    exact_segments:
+        When ``True``, return the un-simplified segment-counting expression
+        ``M * floor(N I R / (3M)^(2-1/N))`` from the end of the proof instead
+        of the smooth Eq. (4) form.  The two differ by less than ``M``.
+
+    Returns
+    -------
+    float
+        Lower bound on loads + stores (may be negative for tiny problems, in
+        which case the bound is vacuous — callers typically clamp at zero).
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    memory_words = check_positive_int(memory_words, "memory_words")
+    n_modes = len(shape)
+    total = tensor_size(shape)
+    if exact_segments:
+        segments = math.floor(n_modes * total * rank / (3.0 * memory_words) ** (2.0 - 1.0 / n_modes))
+        return float(memory_words * segments)
+    leading = n_modes * total * rank / (3.0 ** (2.0 - 1.0 / n_modes) * memory_words ** (1.0 - 1.0 / n_modes))
+    return leading - memory_words
+
+
+def io_lower_bound(shape: Sequence[int], rank: int, memory_words: int) -> float:
+    """Fact 4.1: the trivial input/output bound (Eq. (5)).
+
+    ``W >= I + sum_k I_k R - 2M``: every input and output word must cross the
+    fast/slow boundary except what can start and end resident in fast memory.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    memory_words = check_positive_int(memory_words, "memory_words")
+    return float(tensor_size(shape) + factor_entries(shape, rank) - 2 * memory_words)
+
+
+@dataclass(frozen=True)
+class SequentialBounds:
+    """Both sequential lower bounds and their maximum, for reporting."""
+
+    memory_dependent: float
+    io_bound: float
+
+    @property
+    def combined(self) -> float:
+        """The effective lower bound ``max(W_lb1, W_lb2, 0)``."""
+        return max(self.memory_dependent, self.io_bound, 0.0)
+
+
+def sequential_lower_bound(shape: Sequence[int], rank: int, memory_words: int) -> SequentialBounds:
+    """Evaluate both sequential bounds (Eqs. (23) and (24)) for a problem."""
+    return SequentialBounds(
+        memory_dependent=memory_dependent_lower_bound(shape, rank, memory_words),
+        io_bound=io_lower_bound(shape, rank, memory_words),
+    )

@@ -1,0 +1,29 @@
+"""Core MTTKRP kernels (Definition 2.1 of the paper).
+
+Three single-node kernels are provided:
+
+* :func:`mttkrp_reference` — a literal transcription of Definition 2.1
+  (atomic N-ary multiplies, triple loop), used as the oracle in tests;
+* :func:`mttkrp` — the fast vectorised kernel (einsum-based) used as the
+  local computation inside the blocked and parallel algorithms;
+* :func:`mttkrp_via_matmul` — the "MTTKRP via matrix multiplication"
+  baseline of Section III-B: explicit mode-n unfolding, explicit Khatri-Rao
+  product, then a single GEMM.
+
+The communication-counting variants (sequential Algorithms 1 & 2, parallel
+Algorithms 3 & 4) live in :mod:`repro.sequential` and :mod:`repro.parallel`.
+"""
+
+from repro.core.reference import mttkrp_reference
+from repro.core.kernels import mttkrp, local_mttkrp
+from repro.core.matmul_baseline import mttkrp_via_matmul
+from repro.core.multi_mode import multi_mode_mttkrp, MultiModeResult
+
+__all__ = [
+    "mttkrp_reference",
+    "mttkrp",
+    "local_mttkrp",
+    "mttkrp_via_matmul",
+    "multi_mode_mttkrp",
+    "MultiModeResult",
+]

@@ -1,0 +1,104 @@
+"""Cost model of the MTTKRP-via-matrix-multiplication baseline (parallel case).
+
+Section VI-B compares Algorithms 3 and 4 against casting MTTKRP as the
+rectangular matrix multiplication ``(I_n x I/I_n) * (I/I_n x R)`` and using a
+communication-optimal algorithm (CARMA, Demmel et al. IPDPS'13).  Figure 4 of
+the paper plots exactly this model.  The memory-independent bandwidth cost of
+communication-optimal rectangular matmul with dimensions sorted
+``d_1 >= d_2 >= d_3`` on ``P`` processors falls into three regimes:
+
+* **one large dimension** (``P <= d_1 / d_2``): only the largest dimension is
+  split; each processor computes a partial ``d_2 x d_3`` result that must be
+  summed across processors — ``W = 2 d_2 d_3`` (the partial result crosses the
+  network once into and once out of each processor; the memory-independent
+  lower bound for this regime is ``d_2 d_3``);
+* **two large dimensions** (``d_1/d_2 < P <= d_1 d_2 / d_3^2``): a 2-D
+  decomposition; ``W = 2 d_3 sqrt(d_1 d_2 / P)``;
+* **three large dimensions** (``P > d_1 d_2 / d_3^2``): the classical 3-D
+  regime; ``W = 2 (d_1 d_2 d_3 / P)^{2/3}``.
+
+The regime expressions agree (up to the factor 2) at the boundaries.  As in
+the paper, the cost of forming the explicit Khatri-Rao product is *not*
+charged — the comparison is deliberately generous to the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_mode, check_rank, check_shape
+
+
+def matmul_regime(m: float, k: float, n: float, n_procs: float) -> str:
+    """Which CARMA regime applies: ``"1D"``, ``"2D"`` or ``"3D"``."""
+    if min(m, k, n) <= 0 or n_procs < 1:
+        raise ParameterError("matrix dimensions must be positive and P >= 1")
+    d1, d2, d3 = sorted((float(m), float(k), float(n)), reverse=True)
+    if n_procs <= d1 / d2:
+        return "1D"
+    if n_procs <= d1 * d2 / (d3 * d3):
+        return "2D"
+    return "3D"
+
+
+def carma_cost(m: float, k: float, n: float, n_procs: float) -> float:
+    """Per-processor words of communication-optimal rectangular matmul.
+
+    Parameters
+    ----------
+    m, k, n:
+        Matrix dimensions (``C (m x n) = A (m x k) @ B (k x n)``).
+    n_procs:
+        Number of processors ``P``.
+    """
+    if min(m, k, n) <= 0 or n_procs < 1:
+        raise ParameterError("matrix dimensions must be positive and P >= 1")
+    d1, d2, d3 = sorted((float(m), float(k), float(n)), reverse=True)
+    p = float(n_procs)
+    regime = matmul_regime(m, k, n, p)
+    if regime == "1D":
+        return 2.0 * d2 * d3
+    if regime == "2D":
+        return 2.0 * d3 * (d1 * d2 / p) ** 0.5
+    return 2.0 * (d1 * d2 * d3 / p) ** (2.0 / 3.0)
+
+
+def matmul_parallel_cost(
+    shape: Sequence[int], rank: int, mode: int, n_procs: float, *, include_krp: bool = False
+) -> float:
+    """Per-processor words of MTTKRP via CARMA matmul.
+
+    The multiplication has dimensions ``m = I_mode``, ``k = I / I_mode``,
+    ``n = R``.  When ``include_krp`` is set, the cost of materialising the
+    Khatri-Rao product with one copy of the input factor matrices initially
+    distributed is approximated by the ``k * n / P`` words each processor must
+    write (a lower bound on that step); the paper's Figure 4 sets this to
+    zero.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    total = 1.0
+    for dim in shape:
+        total *= float(dim)
+    rows = float(shape[mode])
+    inner = total / rows
+    cost = carma_cost(rows, inner, float(rank), n_procs)
+    if include_krp:
+        cost += inner * float(rank) / float(n_procs)
+    return cost
+
+
+def matmul_regime_boundaries(shape: Sequence[int], rank: int, mode: int) -> Tuple[float, float]:
+    """Processor counts at which the baseline's 1D→2D and 2D→3D switches occur."""
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    total = 1.0
+    for dim in shape:
+        total *= float(dim)
+    rows = float(shape[mode])
+    inner = total / rows
+    d1, d2, d3 = sorted((rows, inner, float(rank)), reverse=True)
+    return d1 / d2, d1 * d2 / (d3 * d3)

@@ -1,0 +1,79 @@
+"""Sequential communication cost formulas (Section V-A/B and VI-A).
+
+These are the closed-form expressions the paper derives for its sequential
+algorithms; the *measured* counts of the executable implementations in
+:mod:`repro.sequential` are validated against them in the tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.utils.validation import check_mode, check_positive_int, check_rank, check_shape
+
+
+def _tensor_size(shape: Sequence[int]) -> int:
+    total = 1
+    for dim in shape:
+        total *= int(dim)
+    return total
+
+
+def unblocked_cost(shape: Sequence[int], rank: int) -> int:
+    """Communication of Algorithm 1: ``W <= I + I R (N + 1)`` (Section V-A).
+
+    For Algorithm 1 the bound is exact (the algorithm issues exactly these
+    loads and stores).
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    total = _tensor_size(shape)
+    return total + total * rank * (len(shape) + 1)
+
+
+def blocked_cost_upper_bound(shape: Sequence[int], rank: int, block: int) -> float:
+    """Eq. (12)/(21): upper bound on Algorithm 2's communication with block size ``b``.
+
+    ``W <= I + ceil(I_1/b) * ... * ceil(I_N/b) * R * (N + 1) * b``
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    block = check_positive_int(block, "block")
+    total = _tensor_size(shape)
+    blocks = 1
+    for dim in shape:
+        blocks *= -(-dim // block)
+    return float(total + blocks * rank * (len(shape) + 1) * block)
+
+
+def blocked_cost_simplified(shape: Sequence[int], rank: int, memory_words: int) -> float:
+    """Eq. (13): the simplified form ``I + N I R / M^(1-1/N)``.
+
+    Obtained from Eq. (12) with ``b ≈ (M/2)^{1/N}`` dividing all dimensions;
+    used as the "shape" reference in the Section VI-A comparison.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    memory_words = check_positive_int(memory_words, "memory_words")
+    total = _tensor_size(shape)
+    n_modes = len(shape)
+    return float(total + n_modes * total * rank / memory_words ** (1.0 - 1.0 / n_modes))
+
+
+def matmul_sequential_cost(
+    shape: Sequence[int], rank: int, mode: int, memory_words: int
+) -> float:
+    """Sequential cost of MTTKRP via matmul: ``O(I + I R / sqrt(M))`` (Section VI-A).
+
+    Evaluated with unit constants as ``I + 2 I R / sqrt(M) + I_n R`` (read the
+    matricized tensor once, blocked GEMM volume term, write the output); the
+    explicit Khatri-Rao formation is omitted, as in the paper's comparison.
+    """
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    memory_words = check_positive_int(memory_words, "memory_words")
+    total = _tensor_size(shape)
+    return float(total + 2.0 * total * rank / math.sqrt(memory_words) + shape[mode] * rank)

@@ -1,0 +1,115 @@
+"""Strong-scaling model series (Figure 4 of the paper).
+
+Figure 4 plots, for a 3-way cubical tensor with ``I = 2^45`` entries and rank
+``R = 2^15``, the modeled per-processor words communicated by
+
+* MTTKRP via communication-optimal matrix multiplication (CARMA),
+* Algorithm 3 (stationary tensor), and
+* Algorithm 4 (general),
+
+for ``P = 2^0 .. 2^30`` (``2^30`` being the number of entries of one factor
+matrix).  :func:`strong_scaling_series` regenerates that data, optionally
+adding the combined lower bound of Corollary 4.2 as a reference curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bounds.parallel import combined_parallel_lower_bound
+from repro.costmodel.matmul import matmul_parallel_cost
+from repro.costmodel.parallel_model import general_costs, stationary_model_cost
+from repro.utils.validation import check_mode, check_rank, check_shape
+
+
+@dataclass(frozen=True)
+class StrongScalingPoint:
+    """One row of the Figure 4 data.
+
+    Attributes
+    ----------
+    n_procs:
+        Processor count ``P``.
+    matmul_words:
+        Modeled words for MTTKRP via matrix multiplication.
+    stationary_words:
+        Modeled words for Algorithm 3 (Eq. (14), optimal grid).
+    general_words:
+        Modeled words for Algorithm 4 (Eq. (18), optimal grid and ``P_0``).
+    general_p0:
+        The optimal ``P_0`` chosen by the model for Algorithm 4.
+    lower_bound_words:
+        Combined memory-independent lower bound (max of Theorems 4.2 and 4.3
+        with γ = δ = 1, clamped at zero; counted in sends *and* receives), or
+        ``None`` if not requested.
+    """
+
+    n_procs: int
+    matmul_words: float
+    stationary_words: float
+    general_words: float
+    general_p0: float
+    lower_bound_words: Optional[float] = None
+
+
+def figure4_configuration():
+    """The exact configuration of Figure 4: cubical 3-way, ``I = 2^45``, ``R = 2^15``."""
+    side = 2**15
+    return (side, side, side), 2**15
+
+
+def strong_scaling_series(
+    shape: Sequence[int] = None,
+    rank: int = None,
+    *,
+    mode: int = 0,
+    log2_p_max: int = 30,
+    log2_p_min: int = 0,
+    log2_p_step: int = 1,
+    include_lower_bound: bool = False,
+) -> List[StrongScalingPoint]:
+    """Regenerate the Figure 4 series (or the same comparison for another problem).
+
+    Parameters
+    ----------
+    shape, rank:
+        Problem dimensions; default to the Figure 4 configuration.
+    mode:
+        Output mode for the matmul baseline's matricization.
+    log2_p_min, log2_p_max, log2_p_step:
+        The processor counts swept are ``P = 2^log2_p_min .. 2^log2_p_max``.
+    include_lower_bound:
+        Also evaluate Corollary 4.2 at each point.
+    """
+    if shape is None or rank is None:
+        default_shape, default_rank = figure4_configuration()
+        shape = shape if shape is not None else default_shape
+        rank = rank if rank is not None else default_rank
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+
+    total = 1
+    for dim in shape:
+        total *= dim
+    points: List[StrongScalingPoint] = []
+    for log2_p in range(log2_p_min, log2_p_max + 1, log2_p_step):
+        n_procs = 2**log2_p
+        matmul_words = matmul_parallel_cost(shape, rank, mode, n_procs)
+        stationary_words = stationary_model_cost(shape, rank, n_procs)
+        general = general_costs(shape, rank, n_procs)
+        lower = None
+        if include_lower_bound:
+            lower = combined_parallel_lower_bound(shape, rank, n_procs).combined
+        points.append(
+            StrongScalingPoint(
+                n_procs=n_procs,
+                matmul_words=matmul_words,
+                stationary_words=stationary_words,
+                general_words=general.communication,
+                general_p0=general.grid[0],
+                lower_bound_words=lower,
+            )
+        )
+    return points

@@ -1,0 +1,57 @@
+"""Factor-matrix initialisation strategies for CP-ALS."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.tensor.dense import as_ndarray
+from repro.tensor.matricization import unfold
+from repro.tensor.random import random_factors
+from repro.utils.validation import check_rank
+
+
+def initialize_factors(
+    tensor,
+    rank: int,
+    *,
+    method: str = "random",
+    seed: Union[None, int, np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Initial factor matrices for CP-ALS.
+
+    Parameters
+    ----------
+    tensor:
+        The dense tensor being decomposed.
+    rank:
+        Target CP rank ``R``.
+    method:
+        ``"random"`` — i.i.d. standard-normal entries (the common default);
+        ``"svd"`` — the leading ``R`` left singular vectors of each mode-``k``
+        unfolding (HOSVD-style initialisation, deterministic given the
+        tensor).  When ``R`` exceeds a mode's dimension, the extra columns are
+        filled with random entries.
+    seed:
+        Seed for the random components.
+    """
+    data = as_ndarray(tensor)
+    rank = check_rank(rank)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if method == "random":
+        return random_factors(data.shape, rank, seed=rng)
+    if method == "svd":
+        factors = []
+        for k in range(data.ndim):
+            unfolding = unfold(data, k)
+            u, _, _ = np.linalg.svd(unfolding, full_matrices=False)
+            columns = min(rank, u.shape[1])
+            factor = np.empty((data.shape[k], rank), dtype=np.float64)
+            factor[:, :columns] = u[:, :columns]
+            if columns < rank:
+                factor[:, columns:] = rng.standard_normal((data.shape[k], rank - columns))
+            factors.append(factor)
+        return factors
+    raise ParameterError(f"unknown initialisation method {method!r}")

@@ -1,0 +1,133 @@
+"""Command-line reproduction driver.
+
+``python -m repro.experiments`` regenerates every paper artifact in one go
+and prints (or writes to a file) the same tables that the benchmarks emit,
+so a reader can produce the full paper-vs-measured record without pytest.
+
+Individual experiments can be selected by id (see DESIGN.md §4)::
+
+    python -m repro.experiments --only fig4-strong-scaling tab-crossover
+    python -m repro.experiments --quick --output report.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.crossover import crossover_rows, format_crossover_table
+from repro.experiments.figure1 import format_figure1_report
+from repro.experiments.figure4 import figure4_rows, format_figure4_table
+from repro.experiments.matmul_comparison import (
+    format_matmul_comparison_table,
+    matmul_comparison_rows,
+)
+from repro.experiments.parallel_optimality import (
+    format_parallel_optimality_table,
+    parallel_optimality_rows,
+)
+from repro.experiments.sequential_optimality import (
+    format_sequential_optimality_table,
+    sequential_optimality_rows,
+)
+
+
+def _run_figure1(quick: bool) -> str:  # noqa: ARG001 - uniform signature
+    return format_figure1_report()
+
+
+def _run_figure4(quick: bool) -> str:
+    summary = figure4_rows(log2_p_max=24 if quick else 30)
+    return format_figure4_table(summary)
+
+
+def _run_sequential(quick: bool) -> str:
+    memory_sizes = [64, 256, 1024] if quick else [64, 128, 256, 512, 1024, 2048]
+    rows = sequential_optimality_rows(memory_sizes=memory_sizes)
+    return format_sequential_optimality_table(rows)
+
+
+def _run_parallel(quick: bool) -> str:
+    counts = [2, 4, 8] if quick else [2, 4, 8, 16, 32, 64]
+    rows = parallel_optimality_rows(processor_counts=counts)
+    return format_parallel_optimality_table(rows)
+
+
+def _run_crossover(quick: bool) -> str:
+    configurations = None
+    if quick:
+        configurations = [((2**8, 2**8, 2**8), 2**6)]
+    rows = crossover_rows(configurations=configurations, log2_p_max=24 if quick else 30)
+    return format_crossover_table(rows)
+
+
+def _run_matmul(quick: bool) -> str:  # noqa: ARG001 - uniform signature
+    return format_matmul_comparison_table(matmul_comparison_rows())
+
+
+#: Experiment id (DESIGN.md §4) -> harness.
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig1-projections": _run_figure1,
+    "fig4-strong-scaling": _run_figure4,
+    "tab-seq-optimality": _run_sequential,
+    "tab-par-optimality": _run_parallel,
+    "tab-crossover": _run_crossover,
+    "tab-matmul-factors": _run_matmul,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and comparisons (see DESIGN.md §4).",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(EXPERIMENTS),
+        help="run only the listed experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced sweeps so everything finishes in a few seconds",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    return parser
+
+
+def run_experiments(only: Optional[Sequence[str]] = None, *, quick: bool = False) -> str:
+    """Run the selected experiments and return the combined text report."""
+    selected = list(only) if only else sorted(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {unknown}")
+    sections: List[str] = []
+    for name in selected:
+        banner = "=" * max(len(name), 20)
+        sections.append(f"{banner}\n{name}\n{banner}\n{EXPERIMENTS[name](quick)}")
+    return "\n\n".join(sections) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    report = run_experiments(args.only, quick=args.quick)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Experiment ``tab-crossover``: where Algorithm 4 starts beating Algorithm 3.
+
+Section VI-B: with ``P <= I / (NR)^{N/(N-1)}`` the optimal general grid has
+``P_0 = 1`` (the two algorithms coincide); beyond that threshold the general
+algorithm communicates strictly less.  This harness sweeps ``P`` for several
+problem configurations, locates the empirical crossover of the cost models,
+and compares it with the analytic threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.costmodel.parallel_model import crossover_processors, general_costs, stationary_model_cost
+from repro.experiments.report import format_table
+from repro.utils.validation import check_rank, check_shape
+
+
+@dataclass(frozen=True)
+class CrossoverRow:
+    """One problem configuration's crossover data.
+
+    Attributes
+    ----------
+    shape, rank:
+        Problem configuration.
+    analytic_crossover:
+        ``I / (NR)^{N/(N-1)}`` from Section VI-B.
+    empirical_crossover:
+        Smallest swept ``P`` at which the general model is at least 1% cheaper
+        than the stationary model (``None`` if it never happens in the sweep).
+    max_advantage:
+        Largest (stationary / general) ratio observed over the sweep.
+    """
+
+    shape: Tuple[int, ...]
+    rank: int
+    analytic_crossover: float
+    empirical_crossover: Optional[int]
+    max_advantage: float
+
+
+def crossover_rows(
+    configurations: Optional[Sequence[Tuple[Sequence[int], int]]] = None,
+    *,
+    log2_p_max: int = 30,
+) -> List[CrossoverRow]:
+    """Sweep ``P`` for each configuration and locate the Alg3/Alg4 crossover."""
+    if configurations is None:
+        configurations = [
+            ((2**10, 2**10, 2**10), 2**6),
+            ((2**10, 2**10, 2**10), 2**10),
+            ((2**15, 2**15, 2**15), 2**15),
+            ((2**8, 2**8, 2**8, 2**8), 2**8),
+        ]
+    rows: List[CrossoverRow] = []
+    for shape, rank in configurations:
+        shape = check_shape(shape)
+        rank = check_rank(rank)
+        total = 1
+        for dim in shape:
+            total *= dim
+        analytic = crossover_processors(total, len(shape), rank)
+        empirical = None
+        max_advantage = 1.0
+        for log2_p in range(0, log2_p_max + 1):
+            n_procs = 2**log2_p
+            if n_procs > total:
+                break
+            stationary = stationary_model_cost(shape, rank, n_procs)
+            general = general_costs(shape, rank, n_procs).communication
+            if stationary <= 0:
+                continue
+            ratio = stationary / max(general, 1e-12)
+            max_advantage = max(max_advantage, ratio)
+            if empirical is None and general < 0.99 * stationary:
+                empirical = n_procs
+        rows.append(
+            CrossoverRow(
+                shape=tuple(shape),
+                rank=rank,
+                analytic_crossover=analytic,
+                empirical_crossover=empirical,
+                max_advantage=max_advantage,
+            )
+        )
+    return rows
+
+
+def format_crossover_table(rows: Optional[List[CrossoverRow]] = None) -> str:
+    """Render the crossover experiment as a text table."""
+    if rows is None:
+        rows = crossover_rows()
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                "x".join(str(d) for d in row.shape),
+                row.rank,
+                row.analytic_crossover,
+                row.empirical_crossover if row.empirical_crossover is not None else "never",
+                row.max_advantage,
+            ]
+        )
+    return format_table(
+        ["shape", "R", "analytic crossover P", "empirical crossover P", "max Alg3/Alg4 ratio"],
+        table_rows,
+        title="Crossover between Algorithm 3 and Algorithm 4 (Section VI-B)",
+    )

@@ -1,0 +1,118 @@
+"""Experiment ``tab-matmul-factors``: the Section VI-B factors vs the matmul baseline.
+
+The paper derives the communication advantage of the proposed algorithms over
+MTTKRP-via-matmul in two regimes:
+
+* **small P** (``P <= min(I^{1-1/N}, I/(NR)^{N/(N-1)})``): factor
+  ``O(P^{1/N} / N)``;
+* **large P** (``P >= max(I/R^2, I/(NR)^{N/(N-1)})``): factor
+  ``O((IR/P)^{(N-2)/(6N-3)} / N^{N/(2N-1)})``;
+
+and quotes ≈25x at ``P = 2^17`` for the Figure 4 configuration.  This harness
+evaluates both cost models at representative points of each regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.costmodel.matmul import matmul_parallel_cost, matmul_regime
+from repro.costmodel.parallel_model import general_costs
+from repro.costmodel.strong_scaling import figure4_configuration
+from repro.experiments.report import format_table
+from repro.utils.validation import check_rank, check_shape
+
+
+@dataclass(frozen=True)
+class MatmulComparisonRow:
+    """One probed processor count in the matmul-baseline comparison."""
+
+    n_procs: int
+    regime: str
+    matmul_words: float
+    mttkrp_words: float
+    predicted_factor: float
+
+    @property
+    def measured_factor(self) -> float:
+        """Model ratio matmul / proposed (the paper's "xN less communication")."""
+        return self.matmul_words / max(self.mttkrp_words, 1e-12)
+
+
+def _predicted_factor(shape: Sequence[int], rank: int, n_procs: int) -> float:
+    """The asymptotic advantage factor of Section VI-B (unit constants)."""
+    n_modes = len(shape)
+    total = 1.0
+    for dim in shape:
+        total *= float(dim)
+    small_p_limit = min(
+        total ** (1.0 - 1.0 / n_modes), total / (n_modes * rank) ** (n_modes / (n_modes - 1.0))
+    )
+    large_p_limit = max(total / rank**2, total / (n_modes * rank) ** (n_modes / (n_modes - 1.0)))
+    if n_procs <= small_p_limit:
+        return n_procs ** (1.0 / n_modes) / n_modes
+    if n_procs >= large_p_limit:
+        return (total * rank / n_procs) ** ((n_modes - 2.0) / (6.0 * n_modes - 3.0)) / n_modes ** (
+            n_modes / (2.0 * n_modes - 1.0)
+        )
+    return float("nan")
+
+
+def matmul_comparison_rows(
+    shape: Sequence[int] = None,
+    rank: int = None,
+    mode: int = 0,
+    probe_log2_p: Optional[Sequence[int]] = None,
+) -> List[MatmulComparisonRow]:
+    """Evaluate the matmul-baseline comparison at a set of processor counts."""
+    if shape is None or rank is None:
+        default_shape, default_rank = figure4_configuration()
+        shape = shape if shape is not None else default_shape
+        rank = rank if rank is not None else default_rank
+    shape = check_shape(shape)
+    rank = check_rank(rank)
+    if probe_log2_p is None:
+        probe_log2_p = [5, 10, 15, 17, 20, 25, 30]
+    total = 1.0
+    for dim in shape:
+        total *= float(dim)
+    rows: List[MatmulComparisonRow] = []
+    for log2_p in probe_log2_p:
+        n_procs = 2**log2_p
+        rows_dim = float(shape[mode])
+        inner = total / rows_dim
+        rows.append(
+            MatmulComparisonRow(
+                n_procs=n_procs,
+                regime=matmul_regime(rows_dim, inner, float(rank), n_procs),
+                matmul_words=matmul_parallel_cost(shape, rank, mode, n_procs),
+                mttkrp_words=general_costs(shape, rank, n_procs).communication,
+                predicted_factor=_predicted_factor(shape, rank, n_procs),
+            )
+        )
+    return rows
+
+
+def format_matmul_comparison_table(rows: Optional[List[MatmulComparisonRow]] = None) -> str:
+    """Render the matmul-baseline comparison as a text table."""
+    if rows is None:
+        rows = matmul_comparison_rows()
+    table_rows = []
+    for row in rows:
+        exponent = row.n_procs.bit_length() - 1
+        table_rows.append(
+            [
+                f"2^{exponent}",
+                row.regime,
+                row.matmul_words,
+                row.mttkrp_words,
+                row.measured_factor,
+                row.predicted_factor,
+            ]
+        )
+    return format_table(
+        ["P", "matmul regime", "matmul words", "Alg4 words", "model factor", "asymptotic factor"],
+        table_rows,
+        title="MTTKRP vs matrix-multiplication baseline (Section VI-B)",
+    )

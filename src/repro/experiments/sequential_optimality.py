@@ -1,0 +1,142 @@
+"""Experiment ``tab-seq-optimality``: Theorem 6.1 / Section VI-A, measured.
+
+For a sweep of fast-memory sizes ``M`` this harness *executes* Algorithms 1
+and 2 (counting every load/store they issue), evaluates the lower bounds of
+Theorem 4.1 and Fact 4.1, the upper-bound formula Eq. (21), and the matmul
+baseline's modelled cost, and reports the optimality ratio
+
+    ``measured(Algorithm 2) / max(W_lb1, W_lb2)``
+
+which Theorem 6.1 says is bounded by a constant once ``M`` is large enough
+relative to ``N`` and small enough relative to the dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bounds.sequential import sequential_lower_bound
+from repro.costmodel.sequential_model import blocked_cost_upper_bound, matmul_sequential_cost, unblocked_cost
+from repro.experiments.report import format_table
+from repro.sequential.blocked import sequential_blocked_mttkrp
+from repro.sequential.block_size import choose_block_size
+from repro.sequential.unblocked import sequential_unblocked_mttkrp
+from repro.tensor.random import random_factors, random_tensor
+
+
+@dataclass(frozen=True)
+class SequentialOptimalityRow:
+    """One row of the sequential optimality experiment (one memory size)."""
+
+    memory_words: int
+    block: int
+    measured_blocked: int
+    measured_unblocked: int
+    upper_bound_eq21: float
+    matmul_model: float
+    lower_bound_memory: float
+    lower_bound_io: float
+
+    @property
+    def lower_bound(self) -> float:
+        """Effective lower bound ``max(W_lb1, W_lb2, 1)``."""
+        return max(self.lower_bound_memory, self.lower_bound_io, 1.0)
+
+    @property
+    def optimality_ratio(self) -> float:
+        """Measured Algorithm 2 communication over the lower bound."""
+        return self.measured_blocked / self.lower_bound
+
+
+def sequential_optimality_rows(
+    shape: Sequence[int] = (24, 24, 24),
+    rank: int = 8,
+    mode: int = 0,
+    memory_sizes: Optional[Sequence[int]] = None,
+    *,
+    seed: int = 0,
+    execute: bool = True,
+) -> List[SequentialOptimalityRow]:
+    """Run the sequential optimality experiment.
+
+    Parameters
+    ----------
+    shape, rank, mode:
+        Problem configuration (kept modest so the counted execution is fast).
+    memory_sizes:
+        Fast-memory sizes ``M`` to sweep; defaults to a geometric sweep that
+        spans the interesting range for the given shape.
+    execute:
+        When ``False``, use the closed-form cost expressions instead of
+        executing the algorithms (used by quick smoke benchmarks).
+    """
+    if memory_sizes is None:
+        memory_sizes = [64, 128, 256, 512, 1024, 2048]
+    tensor = random_tensor(shape, seed=seed)
+    factors = random_factors(shape, rank, seed=seed + 1)
+
+    rows: List[SequentialOptimalityRow] = []
+    unblocked_words = unblocked_cost(shape, rank)
+    for memory_words in memory_sizes:
+        block = choose_block_size(len(shape), memory_words, shape=shape)
+        if execute:
+            blocked = sequential_blocked_mttkrp(
+                tensor, factors, mode, block=block, memory_words=memory_words
+            )
+            measured_blocked = blocked.words_moved
+            unblocked = sequential_unblocked_mttkrp(tensor, factors, mode)
+            measured_unblocked = unblocked.words_moved
+        else:
+            from repro.sequential.blocked import blocked_io_cost
+
+            measured_blocked = blocked_io_cost(shape, rank, mode, block)
+            measured_unblocked = unblocked_words
+        bounds = sequential_lower_bound(shape, rank, memory_words)
+        rows.append(
+            SequentialOptimalityRow(
+                memory_words=memory_words,
+                block=block,
+                measured_blocked=measured_blocked,
+                measured_unblocked=measured_unblocked,
+                upper_bound_eq21=blocked_cost_upper_bound(shape, rank, block),
+                matmul_model=matmul_sequential_cost(shape, rank, mode, memory_words),
+                lower_bound_memory=bounds.memory_dependent,
+                lower_bound_io=bounds.io_bound,
+            )
+        )
+    return rows
+
+
+def format_sequential_optimality_table(rows: Optional[List[SequentialOptimalityRow]] = None) -> str:
+    """Render the sequential optimality experiment as a text table."""
+    if rows is None:
+        rows = sequential_optimality_rows()
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.memory_words,
+                row.block,
+                row.measured_blocked,
+                row.measured_unblocked,
+                row.upper_bound_eq21,
+                row.matmul_model,
+                row.lower_bound,
+                row.optimality_ratio,
+            ]
+        )
+    return format_table(
+        [
+            "M",
+            "b",
+            "Alg2 measured",
+            "Alg1 measured",
+            "Eq.(21) bound",
+            "matmul model",
+            "lower bound",
+            "Alg2 / lower",
+        ],
+        table_rows,
+        title="Sequential optimality (Theorem 6.1): measured loads+stores vs bounds",
+    )

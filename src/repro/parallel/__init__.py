@@ -1,0 +1,64 @@
+"""Distributed-memory MTTKRP algorithms on a simulated machine (Section V-C/D).
+
+The paper's parallel machine model (P processors, private local memories,
+communication by sends/receives, collectives costed with bucket algorithms)
+is realised by :class:`repro.parallel.machine.SimulatedMachine`: the
+algorithms are written in an SPMD style, really move numpy data between
+rank-local buffers, and charge every collective the bucket-algorithm
+bandwidth cost ``(q - 1) * w`` used in the paper's upper-bound analysis
+(Eqs. (14) and (18)).
+
+Provided algorithms:
+
+* :func:`stationary_mttkrp` — Algorithm 3 (N-way processor grid, tensor never
+  communicated);
+* :func:`general_mttkrp` — Algorithm 4 ((N+1)-way grid, also partitions the
+  rank dimension).
+"""
+
+from repro.parallel.machine import SimulatedMachine, CommunicationRecord
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.collectives import (
+    all_gather,
+    reduce_scatter,
+    all_reduce,
+    broadcast,
+    bucket_all_gather_cost,
+    bucket_reduce_scatter_cost,
+)
+from repro.parallel.distribution import (
+    StationaryDistribution,
+    GeneralDistribution,
+    DistributedMTTKRPOutput,
+)
+from repro.parallel.stationary import stationary_mttkrp
+from repro.parallel.general import general_mttkrp
+from repro.parallel.grid_selection import (
+    factorizations,
+    choose_stationary_grid,
+    choose_general_grid,
+    ideal_stationary_grid,
+    ideal_general_grid,
+)
+
+__all__ = [
+    "SimulatedMachine",
+    "CommunicationRecord",
+    "ProcessorGrid",
+    "all_gather",
+    "reduce_scatter",
+    "all_reduce",
+    "broadcast",
+    "bucket_all_gather_cost",
+    "bucket_reduce_scatter_cost",
+    "StationaryDistribution",
+    "GeneralDistribution",
+    "DistributedMTTKRPOutput",
+    "stationary_mttkrp",
+    "general_mttkrp",
+    "factorizations",
+    "choose_stationary_grid",
+    "choose_general_grid",
+    "ideal_stationary_grid",
+    "ideal_general_grid",
+]

@@ -1,0 +1,394 @@
+"""Data distributions for the parallel MTTKRP algorithms (Sections V-C1 and V-D1).
+
+Both algorithms use the same family of distributions:
+
+* every tensor dimension ``k`` is block-partitioned into ``P_k`` contiguous
+  index sets ``S^(k)_{p_k}``;
+* (Algorithm 4 only) the rank dimension ``[R]`` is block-partitioned into
+  ``P_0`` sets ``T_{p_0}``;
+* each processor owns the sub-tensor indexed by its grid coordinates
+  (Algorithm 3) or a 1/P_0 share of it (Algorithm 4);
+* the block row ``A^(k)(S^(k)_{p_k}, :)`` (resp. the block
+  ``A^(k)(S^(k)_{p_k}, T_{p_0})``) of each factor matrix is partitioned by
+  rows across the processors of the corresponding hyperslice, so that exactly
+  one copy of every input is stored across the machine;
+* the output ``B^(n)`` ends up distributed the same way as an input factor
+  matrix for mode ``n`` would be.
+
+The classes below compute all of those index sets, scatter a concrete tensor
+and factor matrices into per-rank local buffers, and reassemble the
+distributed output for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+from repro.parallel.grid import ProcessorGrid
+from repro.tensor.dense import as_ndarray
+from repro.utils.partition import partition_bounds
+from repro.utils.validation import check_mode, check_rank, check_shape
+
+
+# ---------------------------------------------------------------------------
+# local data containers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LocalTensorBlock:
+    """A rank's share of the tensor.
+
+    Attributes
+    ----------
+    ranges:
+        Per-mode global half-open index ranges of the sub-tensor this share
+        belongs to.
+    data:
+        For Algorithm 3: the full sub-tensor.  For Algorithm 4: a 1-D slice of
+        the flattened (C-order) sub-tensor.
+    flat_range:
+        For Algorithm 4: the half-open range of flattened positions owned.
+        ``None`` for Algorithm 3.
+    """
+
+    ranges: Tuple[Tuple[int, int], ...]
+    data: np.ndarray
+    flat_range: Optional[Tuple[int, int]] = None
+
+
+@dataclass
+class LocalFactorBlock:
+    """A rank's share of one factor matrix (or of the output).
+
+    Attributes
+    ----------
+    rows:
+        Global row indices owned (a contiguous range, stored explicitly).
+    cols:
+        Global column indices owned (the full ``range(R)`` for Algorithm 3).
+    data:
+        The local sub-matrix of shape ``(len(rows), len(cols))``.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+
+    @property
+    def words(self) -> int:
+        """Number of entries stored locally."""
+        return int(self.data.size)
+
+
+@dataclass
+class DistributedMTTKRPOutput:
+    """The distributed output of a parallel MTTKRP and its reassembly.
+
+    Attributes
+    ----------
+    shape:
+        Global output shape ``(I_n, R)``.
+    pieces:
+        Mapping rank -> :class:`LocalFactorBlock` with that rank's rows/cols.
+    """
+
+    shape: Tuple[int, int]
+    pieces: Dict[int, LocalFactorBlock] = field(default_factory=dict)
+
+    def assemble(self) -> np.ndarray:
+        """Assemble the global output matrix, checking single coverage.
+
+        Raises :class:`~repro.exceptions.DistributionError` if any entry is
+        assigned by more than one rank or not assigned at all.
+        """
+        result = np.zeros(self.shape, dtype=np.float64)
+        coverage = np.zeros(self.shape, dtype=np.int64)
+        for rank, piece in self.pieces.items():
+            if piece.data.size == 0:
+                continue
+            rows = np.asarray(piece.rows, dtype=np.intp)
+            cols = np.asarray(piece.cols, dtype=np.intp)
+            result[np.ix_(rows, cols)] = piece.data
+            coverage[np.ix_(rows, cols)] += 1
+        if np.any(coverage > 1):
+            raise DistributionError("output entries assigned by more than one rank")
+        if np.any(coverage == 0):
+            raise DistributionError("some output entries were not assigned by any rank")
+        return result
+
+    def max_local_words(self) -> int:
+        """Largest per-rank output share (the ``nnz(B_p)`` of Eqs. (14)/(18))."""
+        if not self.pieces:
+            return 0
+        return max(piece.words for piece in self.pieces.values())
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 distribution (N-way grid, stationary tensor)
+# ---------------------------------------------------------------------------
+
+class StationaryDistribution:
+    """Data distribution of the stationary-tensor algorithm (Section V-C1).
+
+    Parameters
+    ----------
+    shape:
+        Tensor dimensions ``(I_1, ..., I_N)``.
+    rank:
+        Number of factor-matrix columns ``R``.
+    mode:
+        Output mode ``n``.
+    grid:
+        An ``N``-way :class:`ProcessorGrid` (one grid dimension per tensor
+        mode).
+    """
+
+    def __init__(self, shape: Sequence[int], rank: int, mode: int, grid: ProcessorGrid) -> None:
+        self.shape = check_shape(shape, min_ndim=2)
+        self.rank = check_rank(rank)
+        self.mode = check_mode(mode, len(self.shape))
+        if len(grid.dims) != len(self.shape):
+            raise DistributionError(
+                f"grid must have one dimension per tensor mode: got {len(grid.dims)} "
+                f"grid dims for a {len(self.shape)}-way tensor"
+            )
+        self.grid = grid
+        #: per-mode partitions S^(k): list of (start, stop) per grid coordinate
+        self.mode_partitions: List[List[Tuple[int, int]]] = [
+            partition_bounds(self.shape[k], grid.dims[k]) for k in range(len(self.shape))
+        ]
+
+    # -- index sets ------------------------------------------------------------
+    def subtensor_ranges(self, rank_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Global index ranges of the sub-tensor owned by ``rank_id``."""
+        coords = self.grid.coords(rank_id)
+        return tuple(self.mode_partitions[k][coords[k]] for k in range(len(self.shape)))
+
+    def factor_hyperslice(self, k: int, rank_id: int) -> List[int]:
+        """Communicator over which mode ``k``'s block row is gathered/reduced."""
+        return self.grid.hyperslice(k, rank_id)
+
+    def factor_local_rows(self, k: int, rank_id: int) -> np.ndarray:
+        """Global rows of ``A^(k)`` (or of ``B^(n)`` when ``k == mode``) owned by ``rank_id``.
+
+        The block row ``S^(k)_{p_k}`` is split into balanced contiguous chunks
+        across the hyperslice members (in rank order); ``rank_id`` owns the
+        chunk at its position in that hyperslice.
+        """
+        coords = self.grid.coords(rank_id)
+        block_start, block_stop = self.mode_partitions[k][coords[k]]
+        group = self.factor_hyperslice(k, rank_id)
+        position = self.grid.position_in_group(rank_id, group)
+        local_start, local_stop = partition_bounds(block_stop - block_start, len(group))[position]
+        return np.arange(block_start + local_start, block_start + local_stop)
+
+    def factor_columns(self, rank_id: int) -> np.ndarray:  # noqa: ARG002 - uniform signature
+        """Columns owned (always the full ``range(R)`` for Algorithm 3)."""
+        return np.arange(self.rank)
+
+    # -- scattering ---------------------------------------------------------------
+    def distribute_tensor(self, tensor) -> Dict[int, LocalTensorBlock]:
+        """Scatter the tensor: each rank owns its full sub-tensor (one copy overall)."""
+        data = as_ndarray(tensor)
+        if data.shape != self.shape:
+            raise DistributionError(f"tensor shape {data.shape} does not match {self.shape}")
+        out: Dict[int, LocalTensorBlock] = {}
+        for rank_id in range(self.grid.n_procs):
+            ranges = self.subtensor_ranges(rank_id)
+            slices = tuple(slice(start, stop) for start, stop in ranges)
+            out[rank_id] = LocalTensorBlock(ranges=ranges, data=data[slices].copy())
+        return out
+
+    def distribute_factor(self, k: int, factor: np.ndarray) -> Dict[int, LocalFactorBlock]:
+        """Scatter factor matrix ``A^(k)`` row-wise (one copy overall)."""
+        factor = np.asarray(factor)
+        expected = (self.shape[k], self.rank)
+        if factor.shape != expected:
+            raise DistributionError(
+                f"factor matrix for mode {k} must have shape {expected}, got {factor.shape}"
+            )
+        out: Dict[int, LocalFactorBlock] = {}
+        cols = np.arange(self.rank)
+        for rank_id in range(self.grid.n_procs):
+            rows = self.factor_local_rows(k, rank_id)
+            out[rank_id] = LocalFactorBlock(rows=rows, cols=cols, data=factor[rows, :].copy())
+        return out
+
+    def distribute(self, tensor, factors: Sequence[Optional[np.ndarray]]):
+        """Scatter the tensor and every input factor matrix.
+
+        Returns ``(tensor_blocks, factor_blocks)`` where ``factor_blocks[k]``
+        is ``None`` for ``k == mode`` and a rank->block mapping otherwise.
+        """
+        tensor_blocks = self.distribute_tensor(tensor)
+        factor_blocks: List[Optional[Dict[int, LocalFactorBlock]]] = []
+        for k in range(len(self.shape)):
+            if k == self.mode:
+                factor_blocks.append(None)
+            else:
+                factor_blocks.append(self.distribute_factor(k, factors[k]))
+        return tensor_blocks, factor_blocks
+
+    # -- balance diagnostics -------------------------------------------------------
+    def max_tensor_words(self) -> int:
+        """Largest per-rank tensor share (the γ-balance quantity of the bounds)."""
+        best = 0
+        for rank_id in range(self.grid.n_procs):
+            ranges = self.subtensor_ranges(rank_id)
+            words = 1
+            for start, stop in ranges:
+                words *= stop - start
+            best = max(best, words)
+        return best
+
+    def max_factor_words(self) -> int:
+        """Largest per-rank total factor-matrix share (the δ-balance quantity)."""
+        best = 0
+        for rank_id in range(self.grid.n_procs):
+            words = 0
+            for k in range(len(self.shape)):
+                words += len(self.factor_local_rows(k, rank_id)) * self.rank
+            best = max(best, words)
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 4 distribution ((N+1)-way grid)
+# ---------------------------------------------------------------------------
+
+class GeneralDistribution:
+    """Data distribution of the general algorithm (Section V-D1).
+
+    Grid dimension 0 partitions the rank (column) dimension; grid dimension
+    ``k + 1`` partitions tensor mode ``k``.
+
+    Parameters
+    ----------
+    shape, rank, mode:
+        Problem dimensions and output mode.
+    grid:
+        An ``(N+1)``-way :class:`ProcessorGrid`.
+    """
+
+    def __init__(self, shape: Sequence[int], rank: int, mode: int, grid: ProcessorGrid) -> None:
+        self.shape = check_shape(shape, min_ndim=2)
+        self.rank = check_rank(rank)
+        self.mode = check_mode(mode, len(self.shape))
+        if len(grid.dims) != len(self.shape) + 1:
+            raise DistributionError(
+                f"grid must have N+1={len(self.shape) + 1} dimensions, got {len(grid.dims)}"
+            )
+        self.grid = grid
+        #: partitions of each tensor mode over grid dims 1..N
+        self.mode_partitions: List[List[Tuple[int, int]]] = [
+            partition_bounds(self.shape[k], grid.dims[k + 1]) for k in range(len(self.shape))
+        ]
+        #: partition of the rank dimension over grid dim 0
+        self.rank_partition: List[Tuple[int, int]] = partition_bounds(self.rank, grid.dims[0])
+
+    # -- index sets ------------------------------------------------------------
+    def subtensor_ranges(self, rank_id: int) -> Tuple[Tuple[int, int], ...]:
+        """Global index ranges of the sub-tensor ``X_{p_1..p_N}`` this rank contributes to."""
+        coords = self.grid.coords(rank_id)
+        return tuple(self.mode_partitions[k][coords[k + 1]] for k in range(len(self.shape)))
+
+    def tensor_fiber(self, rank_id: int) -> List[int]:
+        """The ``P_0`` processors sharing this rank's sub-tensor (Line 3 communicator)."""
+        return self.grid.fiber(0, rank_id)
+
+    def rank_columns(self, rank_id: int) -> np.ndarray:
+        """Global columns ``T_{p_0}`` owned by this rank."""
+        coords = self.grid.coords(rank_id)
+        start, stop = self.rank_partition[coords[0]]
+        return np.arange(start, stop)
+
+    def factor_group(self, k: int, rank_id: int) -> List[int]:
+        """Communicator for mode ``k``'s block: fixed ``p_0`` and fixed ``p_k``."""
+        return self.grid.joint_slice([0, k + 1], rank_id)
+
+    def factor_local_rows(self, k: int, rank_id: int) -> np.ndarray:
+        """Global rows of mode ``k``'s block owned by this rank (balanced chunk)."""
+        coords = self.grid.coords(rank_id)
+        block_start, block_stop = self.mode_partitions[k][coords[k + 1]]
+        group = self.factor_group(k, rank_id)
+        position = self.grid.position_in_group(rank_id, group)
+        local_start, local_stop = partition_bounds(block_stop - block_start, len(group))[position]
+        return np.arange(block_start + local_start, block_start + local_stop)
+
+    # -- scattering ---------------------------------------------------------------
+    def distribute_tensor(self, tensor) -> Dict[int, LocalTensorBlock]:
+        """Scatter the tensor: each sub-tensor is shared by its ``P_0`` fiber (one copy overall)."""
+        data = as_ndarray(tensor)
+        if data.shape != self.shape:
+            raise DistributionError(f"tensor shape {data.shape} does not match {self.shape}")
+        out: Dict[int, LocalTensorBlock] = {}
+        for rank_id in range(self.grid.n_procs):
+            ranges = self.subtensor_ranges(rank_id)
+            slices = tuple(slice(start, stop) for start, stop in ranges)
+            subtensor = data[slices]
+            flat = subtensor.reshape(-1)
+            fiber = self.tensor_fiber(rank_id)
+            position = self.grid.position_in_group(rank_id, fiber)
+            start, stop = partition_bounds(flat.size, len(fiber))[position]
+            out[rank_id] = LocalTensorBlock(
+                ranges=ranges, data=flat[start:stop].copy(), flat_range=(start, stop)
+            )
+        return out
+
+    def distribute_factor(self, k: int, factor: np.ndarray) -> Dict[int, LocalFactorBlock]:
+        """Scatter factor matrix ``A^(k)``: each rank owns a row-chunk of its ``(S_k, T_{p_0})`` block."""
+        factor = np.asarray(factor)
+        expected = (self.shape[k], self.rank)
+        if factor.shape != expected:
+            raise DistributionError(
+                f"factor matrix for mode {k} must have shape {expected}, got {factor.shape}"
+            )
+        out: Dict[int, LocalFactorBlock] = {}
+        for rank_id in range(self.grid.n_procs):
+            rows = self.factor_local_rows(k, rank_id)
+            cols = self.rank_columns(rank_id)
+            out[rank_id] = LocalFactorBlock(
+                rows=rows, cols=cols, data=factor[np.ix_(rows, cols)].copy()
+            )
+        return out
+
+    def distribute(self, tensor, factors: Sequence[Optional[np.ndarray]]):
+        """Scatter the tensor and every input factor matrix (see class docstring)."""
+        tensor_blocks = self.distribute_tensor(tensor)
+        factor_blocks: List[Optional[Dict[int, LocalFactorBlock]]] = []
+        for k in range(len(self.shape)):
+            if k == self.mode:
+                factor_blocks.append(None)
+            else:
+                factor_blocks.append(self.distribute_factor(k, factors[k]))
+        return tensor_blocks, factor_blocks
+
+    # -- balance diagnostics --------------------------------------------------------
+    def max_tensor_words(self) -> int:
+        """Largest per-rank tensor share."""
+        best = 0
+        for rank_id in range(self.grid.n_procs):
+            ranges = self.subtensor_ranges(rank_id)
+            words = 1
+            for start, stop in ranges:
+                words *= stop - start
+            fiber = self.tensor_fiber(rank_id)
+            position = self.grid.position_in_group(rank_id, fiber)
+            start, stop = partition_bounds(words, len(fiber))[position]
+            best = max(best, stop - start)
+        return best
+
+    def max_factor_words(self) -> int:
+        """Largest per-rank total factor-matrix share."""
+        best = 0
+        for rank_id in range(self.grid.n_procs):
+            cols = len(self.rank_columns(rank_id))
+            words = 0
+            for k in range(len(self.shape)):
+                words += len(self.factor_local_rows(k, rank_id)) * cols
+            best = max(best, words)
+        return best

@@ -1,0 +1,129 @@
+"""Logical processor grids and their hyperslice communicator groups.
+
+Algorithm 3 organises the ``P`` processors into an ``N``-way grid
+``P = P_1 x ... x P_N``; Algorithm 4 uses an ``(N+1)``-way grid
+``P = P_0 x P_1 x ... x P_N`` (dimension 0 partitions the rank/column
+dimension).  The collectives operate on *hyperslices*: the set of processors
+that share a fixed coordinate in one grid dimension (and, for Algorithm 4,
+possibly a fixed coordinate in dimension 0 as well).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GridError
+from repro.utils.validation import check_positive_int
+
+
+class ProcessorGrid:
+    """A logical multi-dimensional processor grid.
+
+    Ranks are numbered ``0 .. P-1`` in row-major order of their grid
+    coordinates (the last grid dimension varies fastest).
+
+    Parameters
+    ----------
+    dims:
+        Grid extents.  Their product is the number of processors ``P``.
+    """
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        dims = tuple(check_positive_int(d, "grid dimension") for d in dims)
+        if not dims:
+            raise GridError("grid must have at least one dimension")
+        self.dims: Tuple[int, ...] = dims
+        self.n_procs = int(np.prod(dims, dtype=np.int64))
+
+    # -- coordinates ----------------------------------------------------------
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of ``rank`` (row-major, last dimension fastest)."""
+        if not 0 <= rank < self.n_procs:
+            raise GridError(f"rank {rank} out of range [0, {self.n_procs})")
+        out = []
+        for dim in reversed(self.dims):
+            out.append(rank % dim)
+            rank //= dim
+        return tuple(reversed(out))
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """Rank of the processor with the given grid coordinates."""
+        if len(coords) != len(self.dims):
+            raise GridError(
+                f"expected {len(self.dims)} coordinates, got {len(coords)}"
+            )
+        rank = 0
+        for c, dim in zip(coords, self.dims):
+            if not 0 <= c < dim:
+                raise GridError(f"coordinate {c} out of range [0, {dim})")
+            rank = rank * dim + c
+        return rank
+
+    def all_coords(self):
+        """Iterate over all grid coordinates in rank order."""
+        return product(*(range(d) for d in self.dims))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessorGrid(dims={self.dims})"
+
+    # -- communicator groups ---------------------------------------------------
+    def slice_group(self, fixed: Dict[int, int]) -> List[int]:
+        """Ranks whose coordinates match ``fixed`` (a dim -> value mapping).
+
+        The returned list is ordered by rank, which is the canonical order in
+        which the collectives concatenate / scatter data.
+        """
+        for dim_index, value in fixed.items():
+            if not 0 <= dim_index < len(self.dims):
+                raise GridError(f"grid dimension {dim_index} out of range")
+            if not 0 <= value < self.dims[dim_index]:
+                raise GridError(
+                    f"coordinate {value} out of range [0, {self.dims[dim_index]}) "
+                    f"for grid dimension {dim_index}"
+                )
+        group = []
+        for coords in self.all_coords():
+            if all(coords[d] == v for d, v in fixed.items()):
+                group.append(self.rank(coords))
+        return group
+
+    def hyperslice(self, dim_index: int, rank: int) -> List[int]:
+        """Processors that share ``rank``'s coordinate in grid dimension ``dim_index``.
+
+        This is the communicator used by the All-Gather of a factor matrix
+        block row (Line 4 of Algorithm 3) and by the Reduce-Scatter of the
+        output (Line 7): all processors with the same ``p_k``.
+        """
+        coords = self.coords(rank)
+        return self.slice_group({dim_index: coords[dim_index]})
+
+    def fiber(self, dim_index: int, rank: int) -> List[int]:
+        """Processors that differ from ``rank`` only in grid dimension ``dim_index``.
+
+        This is the communicator used by the tensor All-Gather of Algorithm 4
+        (Line 3): the ``P_0`` processors along the dimension-0 fiber.
+        """
+        coords = self.coords(rank)
+        fixed = {d: coords[d] for d in range(len(self.dims)) if d != dim_index}
+        return self.slice_group(fixed)
+
+    def joint_slice(self, fixed_dims: Sequence[int], rank: int) -> List[int]:
+        """Processors sharing ``rank``'s coordinates in all of ``fixed_dims``.
+
+        Algorithm 4's factor-matrix collectives fix *two* grid dimensions
+        (dimension 0 and the mode's dimension); this helper returns that
+        communicator.
+        """
+        coords = self.coords(rank)
+        fixed = {d: coords[d] for d in fixed_dims}
+        return self.slice_group(fixed)
+
+    def position_in_group(self, rank: int, group: Sequence[int]) -> int:
+        """Index of ``rank`` within a communicator group (its "group rank")."""
+        try:
+            return list(group).index(rank)
+        except ValueError as exc:
+            raise GridError(f"rank {rank} is not a member of the group {group}") from exc

@@ -1,0 +1,151 @@
+"""A thin dense-tensor wrapper with the operations MTTKRP algorithms need.
+
+``DenseTensor`` wraps a numpy array and exposes the operations the paper's
+algorithms use — mode-``n`` unfolding, norms, sub-tensor extraction for the
+blocked/parallel data distributions — without hiding the underlying array
+(``.data`` is always available and most functions in the package accept raw
+arrays as well).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tensor.matricization import fold, unfold
+from repro.utils.validation import check_mode, check_shape
+
+
+class DenseTensor:
+    """Dense N-way tensor.
+
+    Parameters
+    ----------
+    data:
+        Array-like of at least 1 dimension.  The data is converted to a
+        floating-point numpy array (C-contiguous) unless it already is one.
+
+    Attributes
+    ----------
+    data:
+        The underlying :class:`numpy.ndarray`.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data) -> None:
+        arr = np.asarray(data)
+        if arr.ndim < 1:
+            raise ShapeError("DenseTensor requires at least a 1-way array")
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data = arr
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Tensor dimensions ``(I_1, ..., I_N)``."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of modes ``N``."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of entries ``I = prod_k I_k``."""
+        return int(self.data.size)
+
+    @property
+    def dtype(self):
+        """Element dtype of the underlying array."""
+        return self.data.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenseTensor(shape={self.shape}, dtype={self.dtype})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, DenseTensor):
+            other = other.data
+        return isinstance(other, np.ndarray) and np.array_equal(self.data, other)
+
+    def __hash__(self):  # tensors are mutable containers
+        raise TypeError("DenseTensor is not hashable")
+
+    # -- numerics ---------------------------------------------------------
+    def norm(self) -> float:
+        """Frobenius norm of the tensor."""
+        return float(np.linalg.norm(self.data.ravel()))
+
+    def copy(self) -> "DenseTensor":
+        """Deep copy of the tensor."""
+        return DenseTensor(self.data.copy())
+
+    def unfold(self, mode: int) -> np.ndarray:
+        """Mode-``mode`` matricization (see :func:`repro.tensor.unfold`)."""
+        return unfold(self.data, mode)
+
+    @classmethod
+    def from_unfolding(cls, matrix: np.ndarray, mode: int, shape: Sequence[int]) -> "DenseTensor":
+        """Rebuild a tensor from one of its unfoldings."""
+        return cls(fold(matrix, mode, shape))
+
+    # -- sub-tensor extraction (for blocked / distributed algorithms) ------
+    def subtensor(self, ranges: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Extract the sub-tensor given per-mode half-open ranges.
+
+        Parameters
+        ----------
+        ranges:
+            One ``(start, stop)`` pair per mode.
+
+        Returns
+        -------
+        numpy.ndarray
+            A *copy* of the sub-tensor (the blocked and parallel algorithms
+            treat the extraction as a data movement, so aliasing would make
+            the communication accounting misleading).
+        """
+        if len(ranges) != self.ndim:
+            raise ShapeError(
+                f"expected {self.ndim} ranges (one per mode), got {len(ranges)}"
+            )
+        slices = []
+        for k, (start, stop) in enumerate(ranges):
+            if not 0 <= start <= stop <= self.shape[k]:
+                raise ShapeError(
+                    f"range {(start, stop)} invalid for mode {k} of extent {self.shape[k]}"
+                )
+            slices.append(slice(start, stop))
+        return self.data[tuple(slices)].copy()
+
+    def mode_dims_except(self, mode: int) -> Tuple[int, ...]:
+        """Dimensions of all modes except ``mode`` (in increasing mode order)."""
+        mode = check_mode(mode, self.ndim)
+        return tuple(dim for k, dim in enumerate(self.shape) if k != mode)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape: Sequence[int], dtype=np.float64) -> "DenseTensor":
+        """All-zero tensor of the given shape."""
+        return cls(np.zeros(check_shape(shape), dtype=dtype))
+
+    @classmethod
+    def from_function(cls, shape: Sequence[int], fn) -> "DenseTensor":
+        """Tensor whose entry at multi-index ``i`` is ``fn(i)`` (for tests/examples)."""
+        shape = check_shape(shape)
+        out = np.empty(shape, dtype=np.float64)
+        it = np.nditer(out, flags=["multi_index"], op_flags=["writeonly"])
+        for cell in it:
+            cell[...] = fn(it.multi_index)
+        return cls(out)
+
+
+def as_ndarray(tensor) -> np.ndarray:
+    """Return the underlying numpy array of a ``DenseTensor`` or array-like."""
+    if isinstance(tensor, DenseTensor):
+        return tensor.data
+    return np.asarray(tensor)

@@ -1,0 +1,162 @@
+"""Khatri-Rao (column-wise Kronecker) products.
+
+The Khatri-Rao product is the matrix whose ``r``-th column is the Kronecker
+product of the ``r``-th columns of its operands.  MTTKRP for mode ``n``
+multiplies the mode-``n`` unfolding of the tensor by the Khatri-Rao product of
+all factor matrices *except* the ``n``-th, taken in reverse mode order
+(Kolda-Bader convention), which is what :func:`khatri_rao_excluding` returns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.utils.validation import check_mode
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao product of a sequence of matrices with equal column counts.
+
+    Parameters
+    ----------
+    matrices:
+        Sequence of 2-D arrays, each with the same number of columns ``R``.
+        The order matters: the first matrix varies slowest in the row index of
+        the result (standard Kronecker ordering of the rows).
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(prod_k rows_k, R)``.
+    """
+    mats = [np.asarray(m) for m in matrices]
+    if not mats:
+        raise ShapeError("khatri_rao requires at least one matrix")
+    for i, m in enumerate(mats):
+        if m.ndim != 2:
+            raise ShapeError(f"operand {i} of khatri_rao must be 2-D, got ndim={m.ndim}")
+    rank = mats[0].shape[1]
+    for i, m in enumerate(mats):
+        if m.shape[1] != rank:
+            raise ShapeError(
+                f"all operands must have {rank} columns, operand {i} has {m.shape[1]}"
+            )
+    if len(mats) == 1:
+        return mats[0].copy()
+    result = mats[0]
+    for m in mats[1:]:
+        # result: (n, R), m: (p, R) -> (n*p, R) with the *new* factor's rows
+        # varying fastest, i.e. row index = i_result * p + i_m.
+        result = (result[:, None, :] * m[None, :, :]).reshape(-1, rank)
+    return result
+
+
+def khatri_rao_excluding(
+    factors: Sequence[Optional[np.ndarray]], mode: int, *, reverse: bool = True
+) -> np.ndarray:
+    """Khatri-Rao product of all factor matrices except the one for ``mode``.
+
+    Parameters
+    ----------
+    factors:
+        One factor matrix per mode; the entry at ``mode`` is ignored and may be
+        ``None``.
+    mode:
+        Mode to exclude.
+    reverse:
+        When ``True`` (default), operands are taken in *reverse* mode order
+        (``N-1, ..., mode+1, mode-1, ..., 0``).  Together with the Kolda-Bader
+        unfolding of :mod:`repro.tensor.matricization`, this yields
+        ``B = X_(mode) @ khatri_rao_excluding(factors, mode)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(prod_{k != mode} I_k, R)``.
+    """
+    mode = check_mode(mode, len(factors))
+    order = [k for k in range(len(factors)) if k != mode]
+    if reverse:
+        order = order[::-1]
+    selected = []
+    for k in order:
+        if factors[k] is None:
+            raise ShapeError(f"factor matrix for mode {k} is required but is None")
+        selected.append(np.asarray(factors[k]))
+    if not selected:
+        raise ShapeError("khatri_rao_excluding requires at least two modes")
+    return khatri_rao(selected)
+
+
+def hadamard_all(
+    matrices: Sequence[Optional[np.ndarray]], *, skip: Optional[int] = None
+) -> np.ndarray:
+    """Element-wise (Hadamard) product of Gram matrices, optionally skipping one.
+
+    CP-ALS solves the normal equations whose coefficient matrix is the
+    Hadamard product of the factor Gram matrices ``A_k^T A_k`` over all modes
+    except the one being updated; this helper computes that product.
+
+    Parameters
+    ----------
+    matrices:
+        Sequence of equally-shaped 2-D arrays (entries at ``skip`` may be None).
+    skip:
+        Optional index to exclude from the product.
+    """
+    result: Optional[np.ndarray] = None
+    for k, m in enumerate(matrices):
+        if skip is not None and k == skip:
+            continue
+        if m is None:
+            raise ShapeError(f"matrix {k} is required but is None")
+        arr = np.asarray(m)
+        if result is None:
+            result = arr.copy()
+        else:
+            if arr.shape != result.shape:
+                raise ShapeError(
+                    f"all matrices must share a shape; got {arr.shape} vs {result.shape}"
+                )
+            result = result * arr
+    if result is None:
+        raise ShapeError("hadamard_all requires at least one matrix")
+    return result
+
+
+def khatri_rao_row(
+    factors: Sequence[Optional[np.ndarray]], mode: int, row_indices: Sequence[int]
+) -> np.ndarray:
+    """Single row of the (implicit) Khatri-Rao product without forming it.
+
+    Given per-mode row indices ``row_indices`` (for every mode except
+    ``mode``, in increasing mode order), return the length-``R`` vector
+    ``prod_{k != mode} A_k[i_k, :]``.  Used by the element-wise reference
+    implementation and by tests that validate the structure-exploiting
+    algorithms against Definition 2.1 directly.
+    """
+    mode = check_mode(mode, len(factors))
+    other_modes = [k for k in range(len(factors)) if k != mode]
+    if len(row_indices) != len(other_modes):
+        raise ShapeError(
+            f"expected {len(other_modes)} row indices (one per non-excluded mode), "
+            f"got {len(row_indices)}"
+        )
+    result = None
+    for k, idx in zip(other_modes, row_indices):
+        row = np.asarray(factors[k])[idx, :]
+        result = row.copy() if result is None else result * row
+    return result
+
+
+def implicit_krp_column_count(shape: Sequence[int], mode: int) -> int:
+    """Number of rows of the Khatri-Rao product excluding ``mode`` (= prod of other dims)."""
+    mode = check_mode(mode, len(shape))
+    count = 1
+    for k, dim in enumerate(shape):
+        if k != mode:
+            count *= int(dim)
+    return count

@@ -1,0 +1,85 @@
+"""Mode-n matricization (unfolding) and its inverse (folding).
+
+The MTTKRP-via-matrix-multiplication baseline of Section III-B explicitly
+permutes the tensor into its mode-``n`` unfolding and multiplies by the
+Khatri-Rao product; the lower-bound discussion in the paper compares against
+exactly this formulation.  We use the standard Kolda-Bader unfolding: the
+mode-``n`` unfolding ``X_(n)`` has shape ``(I_n, prod_{k != n} I_k)`` and its
+column index enumerates the remaining modes with mode ``0`` varying fastest
+(Fortran-like ordering of the remaining modes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.utils.validation import check_mode, check_shape
+
+
+def mode_product_shape(shape: Sequence[int], mode: int) -> Tuple[int, int]:
+    """Shape of the mode-``mode`` unfolding of a tensor with shape ``shape``."""
+    shape = check_shape(shape)
+    mode = check_mode(mode, len(shape))
+    rows = shape[mode]
+    cols = 1
+    for k, dim in enumerate(shape):
+        if k != mode:
+            cols *= dim
+    return rows, cols
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` matricization of a dense tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Dense ``N``-way array.
+    mode:
+        Mode whose fibers become the rows of the result (0-based).
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(I_mode, prod_{k != mode} I_k)``.
+
+    Notes
+    -----
+    Entry ``(i_mode, j)`` of the result equals ``tensor[i_1, ..., i_N]`` with
+    ``j = sum_{k != mode} i_k * prod_{m < k, m != mode} I_m`` (Kolda-Bader
+    convention).  This is implemented as ``moveaxis`` + Fortran-order reshape,
+    which matches that index formula exactly.
+    """
+    tensor = np.asarray(tensor)
+    mode = check_mode(mode, tensor.ndim)
+    moved = np.moveaxis(tensor, mode, 0)
+    return moved.reshape((tensor.shape[mode], -1), order="F")
+
+
+def fold(matrix: np.ndarray, mode: int, shape: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`unfold`: reshape an unfolding back into a tensor.
+
+    Parameters
+    ----------
+    matrix:
+        Matrix of shape ``(shape[mode], prod of remaining dims)``.
+    mode:
+        Mode of the unfolding.
+    shape:
+        Target tensor shape.
+    """
+    shape = check_shape(shape)
+    mode = check_mode(mode, len(shape))
+    matrix = np.asarray(matrix)
+    expected = mode_product_shape(shape, mode)
+    if matrix.shape != expected:
+        raise ShapeError(
+            f"matrix shape {matrix.shape} does not match mode-{mode} unfolding "
+            f"shape {expected} of tensor shape {tuple(shape)}"
+        )
+    remaining = [shape[k] for k in range(len(shape)) if k != mode]
+    moved = matrix.reshape([shape[mode]] + remaining, order="F")
+    return np.moveaxis(moved, 0, mode)

@@ -1,0 +1,184 @@
+"""COO sparse tensors and sparse MTTKRP (the Section VII extension direction).
+
+The paper's conclusion names sparse-tensor MTTKRP as the natural extension of
+its analysis (the communication requirements then depend on the nonzero
+structure).  This module provides the executable substrate for that
+direction: a coordinate-format sparse tensor, a sparse MTTKRP kernel, and a
+nonzero-aware per-processor communication estimate for the stationary
+distribution, so sparse experiments can be layered on the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError, ShapeError
+from repro.utils.partition import partition_bounds
+from repro.utils.validation import check_factor_matrices, check_mode, check_shape
+
+
+@dataclass
+class SparseTensor:
+    """An N-way sparse tensor in coordinate (COO) format.
+
+    Attributes
+    ----------
+    shape:
+        Tensor dimensions.
+    coords:
+        Integer array of shape ``(nnz, N)`` with the multi-indices of the
+        stored entries.  Duplicate coordinates are allowed and are treated as
+        summed.
+    values:
+        Float array of shape ``(nnz,)`` with the stored values.
+    """
+
+    shape: Tuple[int, ...]
+    coords: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.shape = check_shape(self.shape)
+        self.coords = np.asarray(self.coords, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.coords.ndim != 2 or self.coords.shape[1] != len(self.shape):
+            raise ShapeError(
+                f"coords must have shape (nnz, {len(self.shape)}), got {self.coords.shape}"
+            )
+        if self.values.shape != (self.coords.shape[0],):
+            raise ShapeError("values must have one entry per coordinate row")
+        for k, dim in enumerate(self.shape):
+            if self.coords.size and (self.coords[:, k].min() < 0 or self.coords[:, k].max() >= dim):
+                raise ShapeError(f"coordinates out of range for mode {k} (extent {dim})")
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        """Number of modes."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.values.shape[0])
+
+    def density(self) -> float:
+        """Fraction of entries stored (``nnz / prod(shape)``)."""
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return self.nnz / total
+
+    # -- conversions ------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise the dense array (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, tuple(self.coords.T), self.values)
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tolerance: float = 0.0) -> "SparseTensor":
+        """Build a COO tensor from the nonzeros of a dense array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        mask = np.abs(dense) > tolerance
+        coords = np.argwhere(mask)
+        return cls(shape=dense.shape, coords=coords, values=dense[mask])
+
+    @classmethod
+    def random(
+        cls,
+        shape: Sequence[int],
+        density: float,
+        *,
+        seed=None,
+    ) -> "SparseTensor":
+        """Uniformly random sparse tensor with approximately ``density`` fill."""
+        shape = check_shape(shape)
+        if not 0.0 < density <= 1.0:
+            raise ParameterError("density must lie in (0, 1]")
+        rng = np.random.default_rng(seed)
+        total = 1
+        for dim in shape:
+            total *= dim
+        nnz = max(1, int(round(density * total)))
+        flat = rng.choice(total, size=min(nnz, total), replace=False)
+        coords = np.stack(np.unravel_index(flat, shape), axis=1)
+        values = rng.standard_normal(coords.shape[0])
+        return cls(shape=shape, coords=coords, values=values)
+
+
+def sparse_mttkrp(
+    tensor: SparseTensor, factors: Sequence[Optional[np.ndarray]], mode: int
+) -> np.ndarray:
+    """MTTKRP for a COO sparse tensor.
+
+    For every stored entry ``x = X(i_1, ..., i_N)`` the kernel accumulates
+    ``x * prod_{k != mode} A_k[i_k, :]`` into row ``i_mode`` of the output —
+    the sparse analogue of Definition 2.1 (only nonzero N-ary multiplies are
+    evaluated).
+    """
+    mode = check_mode(mode, tensor.ndim)
+    rank = None
+    for k, f in enumerate(factors):
+        if k != mode and f is not None:
+            rank = int(np.asarray(f).shape[1])
+            break
+    if rank is None:
+        raise ParameterError("at least one input factor matrix is required")
+    check_factor_matrices(factors, tensor.shape, rank, skip_mode=mode)
+
+    output = np.zeros((tensor.shape[mode], rank), dtype=np.float64)
+    if tensor.nnz == 0:
+        return output
+    contributions = tensor.values[:, None] * np.ones((1, rank))
+    for k in range(tensor.ndim):
+        if k == mode:
+            continue
+        contributions = contributions * np.asarray(factors[k])[tensor.coords[:, k], :]
+    np.add.at(output, tensor.coords[:, mode], contributions)
+    return output
+
+
+def stationary_sparse_communication(
+    tensor: SparseTensor, rank: int, grid_dims: Sequence[int]
+) -> List[int]:
+    """Per-processor factor-matrix words a stationary sparse MTTKRP would move.
+
+    For a sparse tensor the stationary algorithm only needs, for each
+    processor and each mode, the factor rows indexed by nonzeros in its
+    sub-tensor.  This estimator partitions the nonzeros with the same block
+    grid used for dense tensors and counts the *distinct* factor rows each
+    processor touches — the quantity whose sum the paper's conclusion says is
+    governed by the nonzero structure (and, in general, by a hypergraph
+    partitioning problem).
+
+    Returns a list with one entry per processor: the number of factor-matrix
+    words it must receive (gather) to perform its local computation.
+    """
+    shape = tensor.shape
+    if len(grid_dims) != len(shape):
+        raise ParameterError("grid must have one dimension per tensor mode")
+    bounds = [partition_bounds(shape[k], int(grid_dims[k])) for k in range(len(shape))]
+    n_procs = 1
+    for g in grid_dims:
+        n_procs *= int(g)
+
+    # assign each nonzero to its owning processor
+    owners = np.zeros(tensor.nnz, dtype=np.int64)
+    for k in range(len(shape)):
+        starts = np.array([b[0] for b in bounds[k]] + [shape[k]])
+        block_of = np.searchsorted(starts, tensor.coords[:, k], side="right") - 1
+        owners = owners * int(grid_dims[k]) + block_of
+
+    words = []
+    for proc in range(n_procs):
+        mask = owners == proc
+        total = 0
+        for k in range(len(shape)):
+            touched = np.unique(tensor.coords[mask, k]).size
+            total += touched * rank
+        words.append(int(total))
+    return words

@@ -1,0 +1,68 @@
+"""1-D block partitions used by the parallel data distributions.
+
+Section V-C1 of the paper partitions each tensor dimension ``[I_k]`` into
+``P_k`` contiguous parts ``S^(k)_{p_k}`` and (in Algorithm 4) the rank
+dimension ``[R]`` into ``P_0`` parts ``T_{p_0}``.  These helpers implement the
+standard balanced block partition: the first ``extent % parts`` parts get one
+extra element, so part sizes differ by at most one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_positive_int
+
+
+def partition_sizes(extent: int, parts: int) -> List[int]:
+    """Sizes of the ``parts`` pieces of a balanced block partition of ``extent``.
+
+    Sizes are non-increasing and differ by at most one.  ``parts`` may exceed
+    ``extent``, in which case trailing parts are empty.
+    """
+    extent = check_positive_int(extent, "extent", minimum=0) if extent != 0 else 0
+    parts = check_positive_int(parts, "parts")
+    base, rem = divmod(extent, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def partition_bounds(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Half-open index ranges ``(start, stop)`` of a balanced block partition."""
+    sizes = partition_sizes(extent, parts)
+    bounds = []
+    start = 0
+    for size in sizes:
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def block_partition(extent: int, parts: int) -> List[np.ndarray]:
+    """Index sets (as integer arrays) of a balanced block partition of ``range(extent)``."""
+    return [np.arange(start, stop) for start, stop in partition_bounds(extent, parts)]
+
+
+def owner_of_index(index: int, extent: int, parts: int) -> int:
+    """Which part of a balanced block partition owns global index ``index``."""
+    if not 0 <= index < extent:
+        raise ParameterError(f"index {index} out of range [0, {extent})")
+    for part, (start, stop) in enumerate(partition_bounds(extent, parts)):
+        if start <= index < stop:
+            return part
+    raise ParameterError("unreachable: index not owned by any part")  # pragma: no cover
+
+
+def balanced_split(items: Sequence, parts: int) -> List[list]:
+    """Split an arbitrary sequence into ``parts`` balanced contiguous chunks."""
+    bounds = partition_bounds(len(items), parts)
+    return [list(items[start:stop]) for start, stop in bounds]
+
+
+def max_part_size(extent: int, parts: int) -> int:
+    """Largest part size of the balanced block partition (``ceil(extent/parts)``)."""
+    extent_i = int(extent)
+    parts = check_positive_int(parts, "parts")
+    return -(-extent_i // parts)

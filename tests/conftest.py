@@ -1,0 +1,18 @@
+"""Test configuration.
+
+Makes the test-suite runnable even when the package has not been installed
+(e.g. on machines where ``pip install -e .`` cannot reach a package index to
+set up build isolation): if ``repro`` is not importable, ``src/`` is added to
+``sys.path`` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    src = Path(__file__).resolve().parent.parent / "src"
+    sys.path.insert(0, str(src))

@@ -1,0 +1,128 @@
+"""Unit tests for the HBL machinery (Lemma 4.1, Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.hbl import (
+    figure1_example_points,
+    hbl_bound,
+    max_iterations_per_segment,
+    mttkrp_delta_matrix,
+    mttkrp_projections,
+    projection_counts,
+    verify_hbl_inequality,
+)
+from repro.exceptions import ParameterError
+
+
+class TestProjections:
+    def test_figure1_example(self):
+        """Figure 1: six points, every projection has six distinct elements."""
+        points = figure1_example_points()
+        sizes = projection_counts(points, 3)
+        assert sizes == [6, 6, 6, 6]
+
+    def test_projection_contents_match_figure(self):
+        points = figure1_example_points()
+        projections = mttkrp_projections(points, 3)
+        # phi_2 extracts (i_2, r); the paper lists (1,1),(3,1),(10,2),(14,3),(2,4),(14,4)
+        assert projections[1] == {(1, 1), (3, 1), (10, 2), (14, 3), (2, 4), (14, 4)}
+        # phi_4 extracts the tensor coordinates (i_1, i_2, i_3)
+        assert (5, 1, 1) in projections[3]
+        assert len(projections[3]) == 6
+
+    def test_duplicate_points_collapse(self):
+        points = [(1, 1, 1, 1), (1, 1, 1, 1), (2, 2, 2, 1)]
+        sizes = projection_counts(points, 3)
+        assert sizes[3] == 2
+
+    def test_shared_rows_reduce_projection_size(self):
+        # two points sharing (i_1, r) produce only one element in phi_1
+        points = [(1, 1, 1, 1), (1, 2, 2, 1)]
+        sizes = projection_counts(points, 3)
+        assert sizes[0] == 1
+        assert sizes[1] == 2
+
+    def test_wrong_point_length(self):
+        with pytest.raises(ParameterError):
+            projection_counts([(1, 2, 3)], 3)
+
+
+class TestDeltaMatrix:
+    def test_matches_lemma_structure(self):
+        delta = mttkrp_delta_matrix(4)
+        assert delta.shape == (5, 5)
+        assert delta[4, 4] == 0
+        assert delta[:4, 4].sum() == 4
+
+
+class TestHBLBound:
+    def test_figure1_bound_value(self):
+        count, bound = verify_hbl_inequality(figure1_example_points(), 3)
+        assert count == 6
+        assert np.isclose(bound, 6.0 ** (2.0 - 1.0 / 3.0))
+        assert count <= bound
+
+    def test_full_iteration_space_is_tight(self):
+        """For the full space [I]^N x [R] with I = R the bound is exact."""
+        side, rank = 3, 3
+        points = [
+            (i, j, k, r)
+            for i in range(side)
+            for j in range(side)
+            for k in range(side)
+            for r in range(rank)
+        ]
+        count, bound = verify_hbl_inequality(points, 3)
+        assert count == side**3 * rank
+        # projections: each factor has side*rank entries, tensor has side^3
+        expected = (side * rank) ** (3 * (1.0 / 3.0)) * (side**3) ** (2.0 / 3.0)
+        assert np.isclose(bound, expected)
+        assert count <= bound + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_subsets_satisfy_inequality(self, seed):
+        rng = np.random.default_rng(seed)
+        n_modes = int(rng.integers(2, 5))
+        n_points = int(rng.integers(1, 40))
+        points = rng.integers(0, 6, size=(n_points, n_modes + 1))
+        count, bound = verify_hbl_inequality(points, n_modes)
+        assert count <= bound + 1e-9
+
+    def test_empty_projection_forces_zero(self):
+        assert hbl_bound([0, 3, 3, 3]) == 0.0
+
+    def test_custom_exponents(self):
+        sizes = [4, 4, 4, 8]
+        default = hbl_bound(sizes)
+        uniform = hbl_bound(sizes, exponents=[1.0, 1.0, 0.0, 0.0])
+        assert default > 0 and uniform > 0
+
+    def test_exponent_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            hbl_bound([4, 4, 4, 4], exponents=[0.5, 0.5])
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            hbl_bound([-1, 2, 3, 4])
+
+
+class TestSegmentBound:
+    def test_simplified_dominates_exact(self):
+        for n_modes in (2, 3, 4):
+            for memory in (64, 1024):
+                exact = max_iterations_per_segment(n_modes, memory, exact_constant=True)
+                simplified = max_iterations_per_segment(n_modes, memory)
+                assert exact <= simplified + 1e-9
+
+    def test_monotone_in_memory(self):
+        small = max_iterations_per_segment(3, 100)
+        large = max_iterations_per_segment(3, 1000)
+        assert large > small
+
+    def test_scaling_exponent(self):
+        """The bound scales as M^(2 - 1/N)."""
+        n_modes = 3
+        a = max_iterations_per_segment(n_modes, 1000)
+        b = max_iterations_per_segment(n_modes, 2000)
+        assert np.isclose(b / a, 2.0 ** (2.0 - 1.0 / n_modes), rtol=1e-12)

@@ -1,0 +1,170 @@
+"""Unit tests for the optimisation lemmas (Lemmas 4.2, 4.3, 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.lemmas import (
+    LPSolution,
+    max_product_given_sum,
+    max_product_given_sum_argmax,
+    max_product_given_sum_numeric,
+    min_sum_given_product,
+    min_sum_given_product_argmin,
+    min_sum_given_product_numeric,
+    mttkrp_constraint_matrix,
+    mttkrp_lp_solution,
+    segment_constant,
+    solve_mttkrp_lp_numeric,
+)
+from repro.exceptions import ParameterError
+
+
+class TestConstraintMatrix:
+    def test_structure(self):
+        delta = mttkrp_constraint_matrix(3)
+        assert delta.shape == (4, 4)
+        assert np.array_equal(delta[:3, :3], np.eye(3))
+        assert np.array_equal(delta[:3, 3], np.ones(3))
+        assert np.array_equal(delta[3, :3], np.ones(3))
+        assert delta[3, 3] == 0.0
+
+    def test_rejects_single_mode(self):
+        with pytest.raises(ParameterError):
+            mttkrp_constraint_matrix(1)
+
+
+class TestLemma42:
+    @pytest.mark.parametrize("n_modes", [2, 3, 4, 5, 8])
+    def test_closed_form_objective(self, n_modes):
+        sol = mttkrp_lp_solution(n_modes)
+        assert np.isclose(sol.objective, 2.0 - 1.0 / n_modes)
+        assert np.isclose(sol.s.sum(), sol.objective)
+
+    @pytest.mark.parametrize("n_modes", [2, 3, 4, 5])
+    def test_closed_form_is_feasible(self, n_modes):
+        sol = mttkrp_lp_solution(n_modes)
+        delta = mttkrp_constraint_matrix(n_modes)
+        assert np.all(delta @ sol.s >= 1.0 - 1e-12)
+        assert np.all(sol.s >= 0)
+
+    @pytest.mark.parametrize("n_modes", [2, 3, 4, 6])
+    def test_numeric_lp_matches_closed_form(self, n_modes):
+        numeric = solve_mttkrp_lp_numeric(n_modes)
+        closed = mttkrp_lp_solution(n_modes)
+        assert np.isclose(numeric.objective, closed.objective, rtol=1e-6)
+
+    def test_solution_values(self):
+        sol = mttkrp_lp_solution(3)
+        assert np.allclose(sol.s[:3], 1.0 / 3.0)
+        assert np.isclose(sol.s[3], 2.0 / 3.0)
+
+    def test_returns_dataclass(self):
+        assert isinstance(mttkrp_lp_solution(3), LPSolution)
+
+
+class TestLemma43:
+    def test_closed_form_known_case(self):
+        # equal exponents: maximum of (x1*x2) with x1+x2 <= 2 is 1 at x=(1,1)
+        assert np.isclose(max_product_given_sum([1.0, 1.0], 2.0), 1.0)
+
+    def test_argmax_satisfies_constraint(self):
+        s = np.array([0.3, 0.5, 1.2])
+        x = max_product_given_sum_argmax(s, 10.0)
+        assert np.isclose(x.sum(), 10.0)
+        assert np.all(x >= 0)
+
+    def test_argmax_attains_value(self):
+        s = np.array([0.25, 0.25, 0.25, 0.75])
+        c = 7.0
+        x = max_product_given_sum_argmax(s, c)
+        attained = np.prod(x**s)
+        assert np.isclose(attained, max_product_given_sum(s, c), rtol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_numeric_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.uniform(0.2, 2.0, size=rng.integers(2, 5))
+        c = rng.uniform(1.0, 50.0)
+        closed = max_product_given_sum(s, c)
+        numeric = max_product_given_sum_numeric(s, c)
+        assert np.isclose(closed, numeric, rtol=1e-4)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_feasible_points_do_not_exceed_maximum(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        s = rng.uniform(0.1, 1.5, size=3)
+        c = 20.0
+        maximum = max_product_given_sum(s, c)
+        for _ in range(50):
+            x = rng.dirichlet(np.ones(3)) * c
+            assert np.prod(x**s) <= maximum * (1 + 1e-9)
+
+    def test_zero_exponents(self):
+        assert np.isclose(max_product_given_sum([0.0, 0.0], 5.0), 1.0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ParameterError):
+            max_product_given_sum([-0.1, 1.0], 1.0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ParameterError):
+            max_product_given_sum([1.0], 0.0)
+
+
+class TestLemma44:
+    def test_closed_form_known_case(self):
+        # minimize x1+x2 s.t. x1*x2 >= 4 -> x1=x2=2, sum=4
+        assert np.isclose(min_sum_given_product([1.0, 1.0], 4.0), 4.0)
+
+    def test_argmin_satisfies_constraint(self):
+        s = np.array([0.5, 1.0, 1.5])
+        c = 30.0
+        x = min_sum_given_product_argmin(s, c)
+        assert np.prod(x**s) >= c * (1 - 1e-9)
+        assert np.isclose(np.sum(x), min_sum_given_product(s, c))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_numeric_optimum(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        s = rng.uniform(0.3, 2.0, size=rng.integers(2, 5))
+        c = rng.uniform(2.0, 100.0)
+        closed = min_sum_given_product(s, c)
+        numeric = min_sum_given_product_numeric(s, c)
+        assert np.isclose(closed, numeric, rtol=1e-3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_feasible_points_are_not_cheaper(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        s = rng.uniform(0.2, 1.5, size=3)
+        c = 10.0
+        minimum = min_sum_given_product(s, c)
+        for _ in range(50):
+            x = rng.uniform(0.5, 20.0, size=3)
+            if np.prod(x**s) >= c:
+                assert np.sum(x) >= minimum * (1 - 1e-9)
+
+    def test_rejects_all_zero_exponents(self):
+        with pytest.raises(ParameterError):
+            min_sum_given_product([0.0, 0.0], 2.0)
+
+    def test_rejects_nonpositive_floor(self):
+        with pytest.raises(ParameterError):
+            min_sum_given_product([1.0], -1.0)
+
+
+class TestSegmentConstant:
+    @pytest.mark.parametrize("n_modes", [2, 3, 4, 5, 10])
+    def test_bounded_by_one_over_n(self, n_modes):
+        # the proof of Theorem 4.1 shows the constant is at most 1/N
+        assert segment_constant(n_modes) <= 1.0 / n_modes + 1e-12
+
+    def test_positive(self):
+        assert segment_constant(3) > 0.0
+
+    def test_duality_between_lemmas(self):
+        """Lemma 4.3 and 4.4 are inverse problems: composing them is the identity."""
+        s = np.array([0.4, 0.8, 1.1])
+        c = 12.0
+        best_product = max_product_given_sum(s, c)
+        # the minimum sum needed to reach that product should be exactly c
+        assert np.isclose(min_sum_given_product(s, best_product), c, rtol=1e-10)

@@ -1,0 +1,128 @@
+"""Unit tests for the parallel lower bounds (Corollary 4.1, Theorems 4.2/4.3, Corollary 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.parallel import (
+    ParallelBounds,
+    combined_parallel_lower_bound,
+    cubical_lower_bound,
+    memory_independent_lower_bound_flops,
+    memory_independent_lower_bound_tensor,
+    parallel_memory_dependent_lower_bound,
+)
+from repro.costmodel.parallel_model import general_model_cost, stationary_model_cost
+from repro.exceptions import ParameterError
+
+
+class TestMemoryDependent:
+    def test_scales_as_one_over_p(self):
+        shape, rank, memory = (64, 64, 64), 16, 1024
+        w1 = parallel_memory_dependent_lower_bound(shape, rank, 2, memory) + memory
+        w2 = parallel_memory_dependent_lower_bound(shape, rank, 4, memory) + memory
+        assert np.isclose(w1 / w2, 2.0)
+
+    def test_matches_sequential_at_p1(self):
+        from repro.bounds.sequential import memory_dependent_lower_bound
+
+        shape, rank, memory = (32, 32, 32), 8, 256
+        assert np.isclose(
+            parallel_memory_dependent_lower_bound(shape, rank, 1, memory),
+            memory_dependent_lower_bound(shape, rank, memory),
+        )
+
+
+class TestTheorem42:
+    def test_formula_value(self):
+        shape, rank, p = (8, 8, 8), 4, 16
+        total = 512
+        expected = 2 * (3 * total * rank / p) ** (3 / 5) - total / p - (24 * rank) / p
+        assert np.isclose(memory_independent_lower_bound_flops(shape, rank, p), expected)
+
+    def test_gamma_delta_reduce_bound(self):
+        shape, rank, p = (32, 32, 32), 8, 64
+        base = memory_independent_lower_bound_flops(shape, rank, p)
+        relaxed = memory_independent_lower_bound_flops(shape, rank, p, gamma=2.0, delta=2.0)
+        assert relaxed < base
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ParameterError):
+            memory_independent_lower_bound_flops((4, 4, 4), 2, 4, gamma=0.5)
+
+
+class TestTheorem43:
+    def test_min_of_two_branches(self):
+        shape, rank, p = (32, 32, 32), 4, 8
+        value = memory_independent_lower_bound_tensor(shape, rank, p)
+        total = 32**3
+        tensor_branch = total / (2 * p)
+        factor_branch = (2 / 3) ** 0.5 * 3 * rank * (total / p) ** (1 / 3) - (96 * rank) / p
+        assert np.isclose(value, min(tensor_branch, factor_branch))
+
+    def test_proof_constant_variant(self):
+        shape, rank, p = (64, 64, 64), 4, 512
+        printed = memory_independent_lower_bound_tensor(shape, rank, p)
+        proof = memory_independent_lower_bound_tensor(shape, rank, p, proof_constant=True)
+        # for N=3 the proof constant (2/3)^(2/3) is smaller than sqrt(2/3)
+        assert proof <= printed + 1e-9
+
+    def test_rejects_delta_below_one(self):
+        with pytest.raises(ParameterError):
+            memory_independent_lower_bound_tensor((4, 4, 4), 2, 4, delta=0.0)
+
+
+class TestCorollary42:
+    def test_both_terms_present(self):
+        total, n_modes, rank, p = 2**30, 3, 2**10, 2**10
+        value = cubical_lower_bound(total, n_modes, rank, p)
+        flops_term = (n_modes * total * rank / p) ** (3 / 5)
+        tensor_term = n_modes * rank * (total / p) ** (1 / 3)
+        assert np.isclose(value, flops_term + tensor_term)
+
+    def test_decreasing_in_p(self):
+        values = [cubical_lower_bound(2**24, 3, 64, 2**k) for k in range(0, 20, 4)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestCombined:
+    def test_combined_clamps_at_zero(self):
+        bounds = ParallelBounds(memory_independent_flops=-10.0, memory_independent_tensor=-5.0)
+        assert bounds.combined == 0.0
+
+    def test_memory_bound_included_when_given(self):
+        result = combined_parallel_lower_bound((32, 32, 32), 8, 4, memory_words=128)
+        assert result.memory_dependent is not None
+
+    def test_memory_bound_omitted_by_default(self):
+        result = combined_parallel_lower_bound((32, 32, 32), 8, 4)
+        assert result.memory_dependent is None
+
+
+class TestBoundsVsUpperBounds:
+    """Sanity: (sends + receives) lower bounds never exceed twice the modelled algorithm costs.
+
+    The paper's bounds count sends plus receives while the Eq. (14)/(18)
+    models count one direction of the bucket collectives, so the invariant is
+    ``lower_bound <= 2 * model``.
+    """
+
+    @pytest.mark.parametrize("p", [2, 8, 64, 1024, 2**15, 2**25])
+    def test_stationary_model_respects_bounds(self, p):
+        shape, rank = (2**10, 2**10, 2**10), 2**6
+        bound = combined_parallel_lower_bound(shape, rank, p).combined
+        model = stationary_model_cost(shape, rank, p)
+        assert bound <= 2.0 * model + 1e-6
+
+    @pytest.mark.parametrize("p", [2, 64, 2**10, 2**18, 2**28])
+    def test_general_model_respects_bounds(self, p):
+        shape, rank = (2**12, 2**12, 2**12), 2**10
+        bound = combined_parallel_lower_bound(shape, rank, p).combined
+        model = general_model_cost(shape, rank, p)
+        assert bound <= 2.0 * model + 1e-6
+
+    def test_general_never_exceeds_stationary(self):
+        """Algorithm 4 optimises over a superset of Algorithm 3's grids."""
+        shape, rank = (2**8, 2**8, 2**8), 2**7
+        for log_p in range(0, 24, 3):
+            p = 2**log_p
+            assert general_model_cost(shape, rank, p) <= stationary_model_cost(shape, rank, p) + 1e-6

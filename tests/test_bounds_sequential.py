@@ -1,0 +1,96 @@
+"""Unit tests for the sequential lower bounds (Theorem 4.1, Fact 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.sequential import (
+    SequentialBounds,
+    factor_entries,
+    io_lower_bound,
+    memory_dependent_lower_bound,
+    sequential_lower_bound,
+    tensor_size,
+)
+from repro.costmodel.sequential_model import blocked_cost_upper_bound, unblocked_cost
+from repro.sequential.block_size import choose_block_size
+
+
+class TestHelpers:
+    def test_tensor_size(self):
+        assert tensor_size((3, 4, 5)) == 60
+
+    def test_factor_entries(self):
+        assert factor_entries((3, 4, 5), 2) == (3 + 4 + 5) * 2
+
+
+class TestMemoryDependentBound:
+    def test_formula_value(self):
+        shape, rank, memory = (16, 16, 16), 8, 64
+        n, total = 3, 16**3
+        expected = n * total * rank / (3.0 ** (2 - 1 / 3) * memory ** (1 - 1 / 3)) - memory
+        assert np.isclose(memory_dependent_lower_bound(shape, rank, memory), expected)
+
+    def test_decreases_with_memory(self):
+        shape, rank = (32, 32, 32), 4
+        values = [memory_dependent_lower_bound(shape, rank, m) for m in (64, 256, 1024)]
+        assert values[0] > values[1] > values[2]
+
+    def test_increases_with_rank(self):
+        shape, memory = (32, 32, 32), 256
+        assert memory_dependent_lower_bound(shape, 8, memory) > memory_dependent_lower_bound(
+            shape, 4, memory
+        )
+
+    def test_exact_segment_variant_close_to_smooth(self):
+        shape, rank, memory = (64, 64, 64), 16, 512
+        smooth = memory_dependent_lower_bound(shape, rank, memory)
+        exact = memory_dependent_lower_bound(shape, rank, memory, exact_segments=True)
+        # they differ by at most M (one incomplete segment)
+        assert abs(smooth + memory - exact) <= memory + 1e-6
+
+    def test_can_be_negative_for_tiny_problems(self):
+        assert memory_dependent_lower_bound((2, 2), 1, 10_000) < 0
+
+
+class TestIOBound:
+    def test_formula(self):
+        assert io_lower_bound((4, 5, 6), 3, 10) == 120 + 45 - 20
+
+    def test_memory_only_subtracted_twice(self):
+        a = io_lower_bound((4, 5, 6), 3, 10)
+        b = io_lower_bound((4, 5, 6), 3, 20)
+        assert a - b == 20
+
+
+class TestCombined:
+    def test_dataclass_combined_takes_max(self):
+        bounds = SequentialBounds(memory_dependent=-5.0, io_bound=10.0)
+        assert bounds.combined == 10.0
+        bounds = SequentialBounds(memory_dependent=50.0, io_bound=10.0)
+        assert bounds.combined == 50.0
+        bounds = SequentialBounds(memory_dependent=-5.0, io_bound=-1.0)
+        assert bounds.combined == 0.0
+
+    def test_sequential_lower_bound_wrapper(self):
+        result = sequential_lower_bound((8, 8, 8), 4, 64)
+        assert result.memory_dependent == memory_dependent_lower_bound((8, 8, 8), 4, 64)
+        assert result.io_bound == io_lower_bound((8, 8, 8), 4, 64)
+
+
+class TestBoundsVsUpperBounds:
+    """The lower bounds must never exceed the algorithms' upper bound expressions."""
+
+    @pytest.mark.parametrize("memory", [64, 256, 1024, 4096])
+    @pytest.mark.parametrize("shape,rank", [((16, 16, 16), 4), ((32, 16, 8), 8), ((10, 20, 30, 5), 2)])
+    def test_lower_bounds_below_blocked_upper_bound(self, shape, rank, memory):
+        block = choose_block_size(len(shape), memory, shape=shape)
+        upper = blocked_cost_upper_bound(shape, rank, block)
+        bounds = sequential_lower_bound(shape, rank, memory)
+        assert bounds.combined <= upper + 1e-9
+
+    @pytest.mark.parametrize("shape,rank", [((16, 16, 16), 4), ((8, 12, 20), 3)])
+    def test_lower_bounds_below_unblocked_cost(self, shape, rank):
+        # Algorithm 1 needs only M >= N+1 words of fast memory
+        memory = len(shape) + 1
+        bounds = sequential_lower_bound(shape, rank, memory)
+        assert bounds.combined <= unblocked_cost(shape, rank)

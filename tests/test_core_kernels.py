@@ -1,0 +1,145 @@
+"""Unit tests for the MTTKRP kernels (reference, einsum, matmul baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import mttkrp, mttkrp_flops, local_mttkrp
+from repro.core.matmul_baseline import mttkrp_via_matmul
+from repro.core.reference import mttkrp_reference
+from repro.exceptions import ShapeError
+from repro.tensor.dense import DenseTensor
+from repro.tensor.khatri_rao import khatri_rao_excluding
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.matricization import unfold
+from repro.tensor.random import random_factors, random_tensor
+
+
+def problem(shape, rank, seed=0):
+    tensor = random_tensor(shape, seed=seed)
+    factors = random_factors(shape, rank, seed=seed + 1)
+    return tensor, factors
+
+
+class TestKernelAgreement:
+    @pytest.mark.parametrize("shape", [(4, 5), (3, 4, 5), (2, 3, 4, 3), (2, 2, 2, 2, 2)])
+    def test_einsum_matches_reference(self, shape):
+        tensor, factors = problem(shape, 3)
+        for mode in range(len(shape)):
+            assert np.allclose(mttkrp(tensor, factors, mode), mttkrp_reference(tensor, factors, mode))
+
+    @pytest.mark.parametrize("shape", [(4, 5), (3, 4, 5), (2, 3, 4, 3)])
+    def test_matmul_matches_reference(self, shape):
+        tensor, factors = problem(shape, 3, seed=5)
+        for mode in range(len(shape)):
+            assert np.allclose(
+                mttkrp_via_matmul(tensor, factors, mode), mttkrp_reference(tensor, factors, mode)
+            )
+
+    def test_explicit_unfolding_formula(self):
+        tensor, factors = problem((3, 4, 5), 2, seed=7)
+        for mode in range(3):
+            expected = unfold(tensor.data, mode) @ khatri_rao_excluding(factors, mode)
+            assert np.allclose(mttkrp(tensor, factors, mode), expected)
+
+    def test_output_shape(self):
+        tensor, factors = problem((6, 4, 5), 3)
+        assert mttkrp(tensor, factors, 0).shape == (6, 3)
+        assert mttkrp(tensor, factors, 2).shape == (5, 3)
+
+    def test_local_mttkrp_is_same_function(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        assert np.allclose(local_mttkrp(tensor.data, factors, 1), mttkrp(tensor, factors, 1))
+
+
+class TestKernelProperties:
+    def test_linearity_in_tensor(self):
+        shape = (3, 4, 5)
+        t1, factors = problem(shape, 2, seed=1)
+        t2, _ = problem(shape, 2, seed=2)
+        combined = DenseTensor(2.0 * t1.data + 3.0 * t2.data)
+        expected = 2.0 * mttkrp(t1, factors, 1) + 3.0 * mttkrp(t2, factors, 1)
+        assert np.allclose(mttkrp(combined, factors, 1), expected)
+
+    def test_kruskal_tensor_recovers_gram_structure(self):
+        """MTTKRP of a Kruskal tensor equals A_n * hadamard of Grams (classic identity)."""
+        shape = (4, 5, 6)
+        rank = 3
+        factors = random_factors(shape, rank, seed=3)
+        kt = KruskalTensor(factors)
+        dense = kt.full()
+        for mode in range(3):
+            grams = [factors[k].T @ factors[k] for k in range(3) if k != mode]
+            expected = factors[mode] @ (grams[0] * grams[1])
+            assert np.allclose(mttkrp(dense, factors, mode), expected)
+
+    def test_rank_one_factors_give_weighted_fiber_sums(self):
+        shape = (3, 4)
+        tensor, _ = problem(shape, 1, seed=4)
+        ones = [np.ones((d, 1)) for d in shape]
+        # with all-ones factors, MTTKRP reduces to row sums of the unfolding
+        result = mttkrp(tensor, ones, 0)
+        assert np.allclose(result[:, 0], tensor.data.sum(axis=1))
+
+    def test_accepts_raw_arrays_and_dense_tensors(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        a = mttkrp(tensor, factors, 0)
+        b = mttkrp(tensor.data, factors, 0)
+        assert np.allclose(a, b)
+
+    def test_none_at_output_mode_allowed(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        factors = list(factors)
+        factors[1] = None
+        assert mttkrp(tensor, factors, 1).shape == (4, 2)
+
+
+class TestKernelErrors:
+    def test_all_none_factors(self):
+        tensor, _ = problem((3, 4), 2)
+        with pytest.raises(ValueError):
+            mttkrp(tensor, [None, None], 0)
+
+    def test_wrong_factor_rows(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        factors = list(factors)
+        factors[0] = np.zeros((7, 2))
+        with pytest.raises(ShapeError):
+            mttkrp(tensor, factors, 1)
+
+    def test_inconsistent_rank(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        factors = list(factors)
+        factors[2] = np.zeros((5, 3))
+        with pytest.raises(ShapeError):
+            mttkrp(tensor, factors, 1)
+
+    def test_reference_errors_on_missing_factors(self):
+        tensor, _ = problem((3, 4), 2)
+        with pytest.raises(ValueError):
+            mttkrp_reference(tensor, [None, None], 0)
+
+
+class TestMatmulBaselineReport:
+    def test_report_fields(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        report = mttkrp_via_matmul(tensor, factors, 0, return_report=True)
+        assert report.result.shape == (3, 2)
+        assert report.krp_rows == 4 * 5
+        assert report.krp_entries == 4 * 5 * 2
+        assert report.gemm_flops == 2 * 60 * 2
+
+    def test_report_matches_plain_result(self):
+        tensor, factors = problem((3, 4, 5), 2)
+        report = mttkrp_via_matmul(tensor, factors, 1, return_report=True)
+        assert np.allclose(report.result, mttkrp_via_matmul(tensor, factors, 1))
+
+
+class TestFlopCounts:
+    def test_atomic_count(self):
+        assert mttkrp_flops((4, 5, 6), 3) == 3 * 120 * 3
+
+    def test_factored_count(self):
+        assert mttkrp_flops((4, 5, 6), 3, atomic=False) == 2 * 120 * 3
+
+    def test_scales_linearly_in_rank(self):
+        assert mttkrp_flops((4, 4), 8) == 2 * mttkrp_flops((4, 4), 4)

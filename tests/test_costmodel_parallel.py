@@ -1,0 +1,174 @@
+"""Unit tests for the parallel cost models (Eqs. (14)-(20)) and the CARMA baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.matmul import carma_cost, matmul_parallel_cost, matmul_regime, matmul_regime_boundaries
+from repro.costmodel.parallel_model import (
+    crossover_processors,
+    general_costs,
+    general_model_cost,
+    optimal_stationary_partition,
+    stationary_costs,
+    stationary_model_cost,
+)
+from repro.exceptions import ParameterError
+from repro.parallel.grid_selection import stationary_grid_cost
+
+
+class TestOptimalPartition:
+    def test_cubical_case(self):
+        dims = optimal_stationary_partition((64, 64, 64), 8)
+        assert np.allclose(dims, 2.0)
+
+    def test_product_equals_p(self):
+        dims = optimal_stationary_partition((100, 50, 20), 40)
+        assert np.isclose(np.prod(dims), 40.0, rtol=1e-9)
+
+    def test_clamps_small_dimensions(self):
+        dims = optimal_stationary_partition((2, 10_000, 10_000), 1024)
+        assert dims[0] <= 2.0 + 1e-9
+        assert all(d >= 1.0 for d in dims)
+
+    def test_p_equal_one(self):
+        assert np.allclose(optimal_stationary_partition((8, 8, 8), 1), 1.0)
+
+    def test_p_exceeding_tensor_size_returns_dims(self):
+        dims = optimal_stationary_partition((4, 4), 100)
+        assert dims == (4.0, 4.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            optimal_stationary_partition((4, 4), 0.5)
+
+
+class TestStationaryModel:
+    def test_zero_at_one_processor(self):
+        assert stationary_model_cost((64, 64, 64), 8, 1) == 0.0
+
+    def test_cubical_closed_form(self):
+        """With P_k = P^(1/3) the cost is N R (I/P)^{1/3} - N R I^{1/3} / P."""
+        side, rank, p = 2**8, 2**4, 2**6
+        shape = (side, side, side)
+        total = side**3
+        expected = 3 * rank * (total / p) ** (1 / 3) - 3 * side * rank / p
+        assert np.isclose(stationary_model_cost(shape, rank, p), expected, rtol=1e-9)
+
+    def test_explicit_grid_argument(self):
+        shape, rank, p = (64, 64, 64), 8, 8
+        cost = stationary_model_cost(shape, rank, p, grid=(2, 2, 2))
+        assert np.isclose(cost, stationary_model_cost(shape, rank, p), rtol=1e-12)
+
+    def test_matches_integer_grid_cost_when_divisible(self):
+        """The real-valued model agrees with the implementation's integer cost."""
+        shape, rank, p = (64, 64, 64), 64, 8
+        model = stationary_model_cost(shape, rank, p, grid=(2, 2, 2))
+        integer = stationary_grid_cost(shape, rank, (2, 2, 2))
+        assert np.isclose(model, integer, rtol=1e-12)
+
+    def test_full_costs_struct(self):
+        costs = stationary_costs((64, 64, 64), 8, 64)
+        assert costs.communication > 0
+        assert costs.arithmetic > 0
+        assert costs.storage >= 64**3 / 64
+
+    def test_monotone_decreasing_in_p(self):
+        shape, rank = (2**10, 2**10, 2**10), 2**5
+        values = [stationary_model_cost(shape, rank, 2**k) for k in range(2, 20, 3)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+
+class TestGeneralModel:
+    def test_never_worse_than_stationary(self):
+        shape, rank = (2**8, 2**8, 2**8), 2**8
+        for log_p in range(0, 22, 3):
+            p = 2**log_p
+            assert general_model_cost(shape, rank, p) <= stationary_model_cost(shape, rank, p) + 1e-6
+
+    def test_p0_equals_one_for_small_p(self):
+        shape, rank = (2**10, 2**10, 2**10), 2**4
+        costs = general_costs(shape, rank, 2**6)
+        assert np.isclose(costs.grid[0], 1.0, atol=1e-6)
+
+    def test_p0_grows_beyond_crossover(self):
+        shape, rank = (2**10, 2**10, 2**10), 2**8
+        total = 2**30
+        threshold = crossover_processors(total, 3, rank)
+        costs = general_costs(shape, rank, threshold * 64)
+        assert costs.grid[0] > 1.5
+
+    def test_explicit_p0(self):
+        shape, rank, p = (2**6, 2**6, 2**6), 2**6, 2**9
+        forced = general_model_cost(shape, rank, p, p0=1.0)
+        assert np.isclose(forced, stationary_model_cost(shape, rank, p), rtol=1e-9)
+
+    def test_invalid_p0(self):
+        with pytest.raises(ParameterError):
+            general_model_cost((8, 8, 8), 4, 8, p0=0.5)
+
+    def test_asymptotic_rate_matches_corollary(self):
+        """Far beyond the crossover the cost scales like (NIR/P)^{N/(2N-1)}."""
+        shape, rank = (2**12, 2**12, 2**12), 2**12
+        p1, p2 = 2**32, 2**35
+        w1, w2 = general_model_cost(shape, rank, p1), general_model_cost(shape, rank, p2)
+        observed = np.log(w1 / w2) / np.log(p2 / p1)
+        assert abs(observed - 3.0 / 5.0) < 0.05
+
+
+class TestCrossover:
+    def test_formula(self):
+        assert np.isclose(crossover_processors(2**45, 3, 2**15), 2**45 / (3 * 2**15) ** 1.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ParameterError):
+            crossover_processors(0, 3, 4)
+        with pytest.raises(ParameterError):
+            crossover_processors(100, 1, 4)
+
+
+class TestCarmaModel:
+    def test_regimes(self):
+        # m=n=2^15, k=2^30 (the Figure 4 matricization)
+        m = n = 2**15
+        k = 2**30
+        assert matmul_regime(m, k, n, 2**5) == "1D"
+        assert matmul_regime(m, k, n, 2**20) == "3D"
+
+    def test_regime_boundaries(self):
+        b1, b2 = matmul_regime_boundaries((2**15, 2**15, 2**15), 2**15, 0)
+        assert np.isclose(b1, 2**15)
+        assert np.isclose(b2, 2**15)
+
+    def test_1d_cost_independent_of_p(self):
+        m, k, n = 100, 10**6, 80
+        assert carma_cost(m, k, n, 2) == carma_cost(m, k, n, 50)
+
+    def test_3d_cost_scaling(self):
+        m = k = n = 2**10
+        w1 = carma_cost(m, k, n, 2**6)
+        w2 = carma_cost(m, k, n, 2**9)
+        assert np.isclose(w1 / w2, 8.0 ** (2 / 3), rtol=1e-9)
+
+    def test_continuity_between_regimes(self):
+        m, k, n = 2**5, 2**20, 2**10
+        p_boundary = k / max(m, n)  # 1D -> 2D switch for this shape
+        below = carma_cost(m, k, n, p_boundary * 0.999)
+        above = carma_cost(m, k, n, p_boundary * 1.001)
+        assert 0.5 <= below / above <= 2.0
+
+    def test_mttkrp_wrapper_uses_right_dims(self):
+        shape, rank, mode, p = (2**10, 2**10, 2**10), 2**6, 0, 2**3
+        direct = carma_cost(2**10, 2**20, 2**6, p)
+        assert np.isclose(matmul_parallel_cost(shape, rank, mode, p), direct)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ParameterError):
+            carma_cost(0, 10, 10, 2)
+        with pytest.raises(ParameterError):
+            matmul_regime(10, 10, 10, 0)
+
+    def test_include_krp_adds_cost(self):
+        shape, rank, mode, p = (64, 64, 64), 16, 0, 8
+        base = matmul_parallel_cost(shape, rank, mode, p)
+        with_krp = matmul_parallel_cost(shape, rank, mode, p, include_krp=True)
+        assert with_krp > base

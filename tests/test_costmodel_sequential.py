@@ -1,0 +1,81 @@
+"""Unit tests for the sequential cost models (Eqs. (12), (13), (21))."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.sequential_model import (
+    blocked_cost_simplified,
+    blocked_cost_upper_bound,
+    matmul_sequential_cost,
+    unblocked_cost,
+)
+from repro.sequential.blocked import blocked_io_cost
+
+
+class TestUnblockedCost:
+    def test_formula(self):
+        assert unblocked_cost((4, 5, 6), 3) == 120 + 120 * 3 * 4
+
+    def test_two_way(self):
+        assert unblocked_cost((10, 10), 2) == 100 + 100 * 2 * 3
+
+
+class TestBlockedUpperBound:
+    def test_formula(self):
+        # ceil(8/3)*ceil(9/3)*ceil(10/3) = 3*3*4 = 36 blocks
+        expected = 720 + 36 * 2 * 4 * 3
+        assert blocked_cost_upper_bound((8, 9, 10), 2, 3) == expected
+
+    @pytest.mark.parametrize("block", [1, 2, 3, 4, 8])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_dominates_exact_count(self, block, mode):
+        shape, rank = (8, 9, 10), 3
+        assert blocked_io_cost(shape, rank, mode, block) <= blocked_cost_upper_bound(
+            shape, rank, block
+        )
+
+    def test_block_one_matches_unblocked(self):
+        shape, rank = (5, 6, 7), 2
+        assert blocked_cost_upper_bound(shape, rank, 1) == unblocked_cost(shape, rank)
+
+    def test_decreasing_in_block_for_divisible_sizes(self):
+        shape, rank = (16, 16, 16), 4
+        costs = [blocked_cost_upper_bound(shape, rank, b) for b in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+
+class TestSimplifiedCost:
+    def test_scaling_in_memory(self):
+        shape, rank = (64, 64, 64), 8
+        w1 = blocked_cost_simplified(shape, rank, 1000) - 64**3
+        w2 = blocked_cost_simplified(shape, rank, 8000) - 64**3
+        # N=3: factor-matrix traffic scales as M^{-2/3} -> 8x memory = 4x less
+        assert np.isclose(w1 / w2, 4.0, rtol=1e-12)
+
+    def test_includes_tensor_read(self):
+        shape, rank = (16, 16, 16), 1
+        assert blocked_cost_simplified(shape, rank, 10**9) >= 16**3
+
+
+class TestMatmulSequentialCost:
+    def test_dominant_terms(self):
+        shape, rank, mode, memory = (32, 32, 32), 8, 0, 1024
+        total = 32**3
+        expected = total + 2 * total * rank / np.sqrt(memory) + 32 * rank
+        assert np.isclose(matmul_sequential_cost(shape, rank, mode, memory), expected)
+
+    def test_blocked_algorithm_wins_when_rank_large(self):
+        """Section VI-A: when NR = Ω(M^{1-1/N}) Algorithm 2 communicates less."""
+        shape, mode, memory = (64, 64, 64), 0, 4096
+        rank = 4096  # NR far above M^(2/3) = 256
+        alg2 = blocked_cost_simplified(shape, rank, memory)
+        matmul = matmul_sequential_cost(shape, rank, mode, memory)
+        assert alg2 < matmul
+
+    def test_costs_comparable_when_rank_small(self):
+        """When R is small both approaches are dominated by reading the tensor."""
+        shape, mode, memory = (64, 64, 64), 0, 4096
+        rank = 2
+        alg2 = blocked_cost_simplified(shape, rank, memory)
+        matmul = matmul_sequential_cost(shape, rank, mode, memory)
+        assert 0.5 <= alg2 / matmul <= 2.0

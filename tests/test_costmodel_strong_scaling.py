@@ -1,0 +1,82 @@
+"""Unit tests for the Figure 4 strong-scaling model series."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.strong_scaling import figure4_configuration, strong_scaling_series
+
+
+class TestConfiguration:
+    def test_figure4_configuration(self):
+        shape, rank = figure4_configuration()
+        assert shape == (2**15, 2**15, 2**15)
+        assert rank == 2**15
+        assert int(np.prod([float(s) for s in shape])) == 2**45
+
+
+class TestSeries:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return strong_scaling_series(log2_p_max=30, log2_p_step=1, include_lower_bound=True)
+
+    def test_length_and_processor_counts(self, series):
+        assert len(series) == 31
+        assert series[0].n_procs == 1
+        assert series[-1].n_procs == 2**30
+
+    def test_proposed_algorithms_beat_baseline_in_the_middle(self, series):
+        """The paper's headline: less communication than matmul throughout the range."""
+        for point in series:
+            best = min(point.stationary_words, point.general_words)
+            assert best <= point.matmul_words * 1.001
+
+    def test_stationary_and_general_agree_for_small_p(self, series):
+        for point in series:
+            if point.n_procs <= 2**15:
+                assert np.isclose(point.general_words, point.stationary_words, rtol=1e-6)
+
+    def test_divergence_at_large_p(self, series):
+        last = series[-1]
+        assert last.general_words < last.stationary_words
+        assert last.general_p0 > 1.0
+
+    def test_advantage_around_2_17(self, series):
+        """Paper: ~25x less communication at P = 2^17; accept the same order of magnitude."""
+        point = next(p for p in series if p.n_procs == 2**17)
+        ratio = point.matmul_words / point.stationary_words
+        assert 5.0 <= ratio <= 60.0
+
+    def test_baseline_kink_exists(self, series):
+        """The matmul curve is flat (1D regime) then strictly decreasing (2D/3D regime)."""
+        words = [p.matmul_words for p in series]
+        flat_prefix = sum(1 for a, b in zip(words, words[1:]) if np.isclose(a, b))
+        assert flat_prefix >= 5
+        assert words[-1] < words[0]
+
+    def test_lower_bound_never_exceeds_twice_the_best_algorithm(self, series):
+        for point in series:
+            if point.n_procs == 1:
+                continue
+            best = min(point.stationary_words, point.general_words)
+            assert point.lower_bound_words <= 2.0 * best + 1e-6
+
+    def test_monotone_decrease_of_proposed_algorithms(self, series):
+        # Eq. (14) is genuinely non-monotone for the first few processor counts
+        # (the per-processor block rows are still almost the whole matrix), so
+        # monotone strong scaling is only expected from P ~ 8 onwards.
+        general = [p.general_words for p in series if p.n_procs >= 8]
+        assert all(a >= b - 1e-6 for a, b in zip(general, general[1:]))
+
+
+class TestCustomProblems:
+    def test_other_shapes_supported(self):
+        series = strong_scaling_series((2**8, 2**8, 2**8), 2**4, log2_p_max=12, log2_p_step=4)
+        assert len(series) == 4
+
+    def test_step_and_range_arguments(self):
+        series = strong_scaling_series(log2_p_min=4, log2_p_max=8, log2_p_step=2)
+        assert [p.n_procs for p in series] == [16, 64, 256]
+
+    def test_lower_bound_optional(self):
+        series = strong_scaling_series(log2_p_max=4)
+        assert series[0].lower_bound_words is None

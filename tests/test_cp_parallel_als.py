@@ -1,0 +1,55 @@
+"""Unit tests for CP-ALS on the simulated parallel machine."""
+
+import numpy as np
+import pytest
+
+from repro.cp.als import cp_als
+from repro.cp.parallel_als import parallel_cp_als
+from repro.exceptions import ParameterError
+from repro.tensor.random import random_low_rank_tensor
+
+
+class TestParallelCPALS:
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        return random_low_rank_tensor((8, 8, 8), 2, seed=0)
+
+    def test_matches_sequential_fits(self, tensor):
+        sequential = cp_als(tensor, 2, n_iter_max=5, tol=0.0, seed=1)
+        parallel = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=5, tol=0.0, seed=1)
+        assert np.allclose(parallel.als.fits, sequential.fits, atol=1e-8)
+
+    def test_communication_recorded(self, tensor):
+        result = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=3, tol=0.0, seed=2)
+        assert result.total_words > 0
+        assert len(result.words_per_iteration) == 3
+        assert all(w > 0 for w in result.words_per_iteration)
+
+    def test_words_per_iteration_constant(self, tensor):
+        """Every ALS sweep performs the same MTTKRPs, hence the same communication."""
+        result = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=4, tol=0.0, seed=3)
+        assert len(set(result.words_per_iteration)) == 1
+
+    def test_general_algorithm_option(self, tensor):
+        result = parallel_cp_als(
+            tensor, 2, n_procs=8, algorithm="general", n_iter_max=2, tol=0.0, seed=4
+        )
+        assert result.algorithm == "general"
+        assert result.als.final_fit > 0.5
+
+    def test_recovers_low_rank_tensor(self, tensor):
+        result = parallel_cp_als(tensor, 2, n_procs=4, n_iter_max=80, tol=1e-12, seed=5)
+        assert result.als.final_fit > 0.999
+
+    def test_single_processor_has_no_communication(self, tensor):
+        result = parallel_cp_als(tensor, 2, n_procs=1, n_iter_max=2, tol=0.0, seed=6)
+        assert result.total_words == 0
+
+    def test_invalid_algorithm(self, tensor):
+        with pytest.raises(ParameterError):
+            parallel_cp_als(tensor, 2, n_procs=4, algorithm="hybrid")
+
+    def test_grid_recorded(self, tensor):
+        result = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=1, tol=0.0, seed=7)
+        assert len(result.grids) == 1
+        assert int(np.prod(result.grids[0])) == 8

@@ -1,0 +1,155 @@
+"""Tests for the experiment harnesses (each paper figure / comparison regenerates)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.crossover import crossover_rows, format_crossover_table
+from repro.experiments.figure1 import figure1_projection_report, format_figure1_report
+from repro.experiments.figure4 import figure4_rows, format_figure4_table
+from repro.experiments.matmul_comparison import format_matmul_comparison_table, matmul_comparison_rows
+from repro.experiments.parallel_optimality import (
+    format_parallel_optimality_table,
+    parallel_optimality_rows,
+)
+from repro.experiments.report import format_number, format_table
+from repro.experiments.sequential_optimality import (
+    format_sequential_optimality_table,
+    sequential_optimality_rows,
+)
+
+
+class TestReportHelpers:
+    def test_format_number(self):
+        assert format_number(1200) == "1,200"
+        assert format_number(0.5) == "0.500"
+        assert format_number(1.5e9) == "1.500e+09"
+        assert format_number("text") == "text"
+        assert format_number(None) == "None"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [3, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(line) for line in lines[1:])) == 1
+
+
+class TestFigure1:
+    def test_report_values(self):
+        report = figure1_projection_report()
+        assert report.n_points == 6
+        assert report.projection_sizes == [6, 6, 6, 6]
+        assert np.isclose(report.hbl_bound, 6 ** (5 / 3))
+
+    def test_formatting(self):
+        text = format_figure1_report()
+        assert "Figure 1" in text
+        assert "HBL bound" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return figure4_rows(log2_p_max=30, log2_p_step=1)
+
+    def test_headline_claims(self, summary):
+        assert summary.baseline_always_worse
+        assert summary.divergence_p is not None
+        assert summary.divergence_p >= 2**20
+        assert 5.0 <= summary.ratio_at_2_17 <= 60.0
+
+    def test_formatting(self, summary):
+        text = format_figure4_table(summary)
+        assert "Figure 4" in text
+        assert "2^30" in text
+        assert "paper: ~25x" in text
+
+
+class TestSequentialOptimality:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sequential_optimality_rows(
+            shape=(12, 12, 12), rank=4, memory_sizes=[64, 256, 1024], seed=0
+        )
+
+    def test_measured_within_bounds(self, rows):
+        for row in rows:
+            assert row.measured_blocked <= row.upper_bound_eq21 + 1e-9
+            assert row.measured_blocked >= row.lower_bound - 1e-9
+            # The constant-factor optimality claim (Theorem 6.1) only applies
+            # when M is small enough that the lower bounds are non-vacuous.
+            if row.lower_bound > 100:
+                assert row.optimality_ratio <= 8.0
+
+    def test_blocked_never_worse_than_unblocked(self, rows):
+        for row in rows:
+            assert row.measured_blocked <= row.measured_unblocked
+
+    def test_larger_memory_reduces_communication(self, rows):
+        measured = [row.measured_blocked for row in rows]
+        assert measured[0] >= measured[-1]
+
+    def test_model_only_mode(self):
+        rows = sequential_optimality_rows(
+            shape=(12, 12, 12), rank=4, memory_sizes=[128], execute=False
+        )
+        assert rows[0].measured_blocked > 0
+
+    def test_formatting(self, rows):
+        text = format_sequential_optimality_table(rows)
+        assert "Theorem 6.1" in text
+
+
+class TestParallelOptimality:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return parallel_optimality_rows(
+            shape=(12, 12, 12), rank=4, processor_counts=[2, 4, 8], seed=0
+        )
+
+    def test_all_runs_correct(self, rows):
+        assert all(row.stationary_correct and row.general_correct for row in rows)
+
+    def test_ratios_bounded(self, rows):
+        for row in rows:
+            assert row.stationary_ratio <= 10.0
+            assert row.general_ratio <= 10.0
+
+    def test_general_not_worse_than_stationary(self, rows):
+        for row in rows:
+            assert row.measured_general <= row.measured_stationary * 1.01
+
+    def test_formatting(self, rows):
+        text = format_parallel_optimality_table(rows)
+        assert "Theorem 6.2" in text
+
+
+class TestCrossover:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return crossover_rows(configurations=[((2**8, 2**8, 2**8), 2**6)], log2_p_max=24)
+
+    def test_crossover_found(self, rows):
+        row = rows[0]
+        assert row.empirical_crossover is not None
+        assert row.max_advantage > 1.0
+
+    def test_empirical_crossover_near_analytic(self, rows):
+        row = rows[0]
+        # the analytic threshold is asymptotic; accept agreement within 64x
+        assert row.analytic_crossover / 8 <= row.empirical_crossover <= row.analytic_crossover * 64
+
+    def test_formatting(self, rows):
+        text = format_crossover_table(rows)
+        assert "Crossover" in text
+
+
+class TestMatmulComparison:
+    def test_rows_and_factors(self):
+        rows = matmul_comparison_rows(probe_log2_p=[5, 17, 28])
+        assert len(rows) == 3
+        for row in rows:
+            assert row.measured_factor > 1.0
+
+    def test_formatting(self):
+        text = format_matmul_comparison_table(matmul_comparison_rows(probe_log2_p=[10, 20]))
+        assert "matmul" in text.lower()

@@ -1,0 +1,56 @@
+"""Tests for the command-line reproduction driver (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiments
+
+
+class TestRunExperiments:
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1-projections",
+            "fig4-strong-scaling",
+            "tab-seq-optimality",
+            "tab-par-optimality",
+            "tab-crossover",
+            "tab-matmul-factors",
+        }
+
+    def test_quick_subset_report(self):
+        report = run_experiments(["fig1-projections", "tab-crossover"], quick=True)
+        assert "fig1-projections" in report
+        assert "tab-crossover" in report
+        assert "Figure 1" in report
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["tab-unknown"])
+
+    def test_figure4_section(self):
+        report = run_experiments(["fig4-strong-scaling"], quick=True)
+        assert "matmul words" in report
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["--only", "fig1-projections", "--quick"])
+        assert args.only == ["fig1-projections"]
+        assert args.quick
+
+    def test_main_stdout(self, capsys):
+        exit_code = main(["--only", "fig1-projections"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_main_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        exit_code = main(["--only", "fig1-projections", "--output", str(target)])
+        assert exit_code == 0
+        assert "Figure 1" in target.read_text()
+        assert "wrote report" in capsys.readouterr().out
+
+    def test_main_rejects_bad_id(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "nonexistent"])

@@ -1,0 +1,149 @@
+"""Integration tests for Algorithms 3 and 4 on the simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.parallel import combined_parallel_lower_bound
+from repro.core.kernels import mttkrp
+from repro.exceptions import DistributionError
+from repro.parallel.general import general_mttkrp
+from repro.parallel.grid_selection import general_grid_cost, stationary_grid_cost
+from repro.parallel.machine import SimulatedMachine
+from repro.parallel.stationary import stationary_mttkrp
+from repro.tensor.random import random_factors, random_tensor
+
+
+def problem(shape=(8, 6, 4), rank=3, seed=0):
+    return random_tensor(shape, seed=seed), random_factors(shape, rank, seed=seed + 1)
+
+
+class TestStationaryCorrectness:
+    @pytest.mark.parametrize("grid", [(1, 1, 1), (2, 1, 1), (2, 3, 2), (4, 2, 1), (2, 2, 2)])
+    def test_matches_reference(self, grid):
+        tensor, factors = problem()
+        for mode in range(3):
+            result = stationary_mttkrp(tensor, factors, mode, grid)
+            assert np.allclose(result.assemble(), mttkrp(tensor, factors, mode))
+
+    def test_four_way_tensor(self):
+        tensor, factors = problem((4, 3, 5, 2), 2, seed=5)
+        result = stationary_mttkrp(tensor, factors, 2, (2, 1, 2, 1))
+        assert np.allclose(result.assemble(), mttkrp(tensor, factors, 2))
+
+    def test_two_way_tensor(self):
+        tensor, factors = problem((6, 8), 3, seed=6)
+        result = stationary_mttkrp(tensor, factors, 0, (2, 2))
+        assert np.allclose(result.assemble(), mttkrp(tensor, factors, 0))
+
+    def test_single_processor_no_communication(self):
+        tensor, factors = problem()
+        result = stationary_mttkrp(tensor, factors, 0, (1, 1, 1))
+        assert result.max_words_communicated == 0
+
+    def test_uneven_dimensions(self):
+        tensor, factors = problem((7, 5, 3), 2, seed=7)
+        result = stationary_mttkrp(tensor, factors, 1, (2, 2, 1))
+        assert np.allclose(result.assemble(), mttkrp(tensor, factors, 1))
+
+
+class TestStationaryCommunication:
+    def test_measured_cost_matches_grid_cost_model(self):
+        """With dimensions divisible by the grid the measured words equal the model."""
+        shape, rank, grid = (8, 8, 8), 4, (2, 2, 2)
+        tensor, factors = problem(shape, rank, seed=1)
+        result = stationary_mttkrp(tensor, factors, 0, grid)
+        assert result.max_words_communicated == stationary_grid_cost(shape, rank, grid)
+
+    def test_tensor_is_never_communicated(self):
+        """The stationary algorithm's traffic is independent of the tensor size."""
+        rank, grid = 4, (2, 2, 2)
+        small_t, small_f = problem((8, 8, 8), rank, seed=2)
+        large_t, large_f = problem((16, 16, 16), rank, seed=3)
+        small = stationary_mttkrp(small_t, small_f, 0, grid).max_words_communicated
+        large = stationary_mttkrp(large_t, large_f, 0, grid).max_words_communicated
+        # factor matrices double in rows -> communication doubles, not x8
+        assert large == 2 * small
+
+    def test_words_scale_linearly_with_rank(self):
+        shape, grid = (8, 8, 8), (2, 2, 2)
+        tensor, f2 = problem(shape, 2, seed=4)
+        _, f4 = problem(shape, 4, seed=5)
+        w2 = stationary_mttkrp(tensor, f2, 0, grid).max_words_communicated
+        w4 = stationary_mttkrp(tensor, f4, 0, grid).max_words_communicated
+        assert w4 == 2 * w2
+
+    def test_flops_are_load_balanced(self):
+        shape, rank, grid = (8, 8, 8), 4, (2, 2, 2)
+        tensor, factors = problem(shape, rank, seed=6)
+        result = stationary_mttkrp(tensor, factors, 0, grid)
+        flops = result.machine.flops
+        assert flops.max() <= 1.2 * max(flops.min(), 1)
+
+    def test_storage_recorded(self):
+        tensor, factors = problem((8, 8, 8), 4, seed=7)
+        result = stationary_mttkrp(tensor, factors, 0, (2, 2, 2))
+        # each rank holds at least its subtensor (8^3 / 8 = 64 words)
+        assert result.machine.max_storage >= 64
+
+    def test_machine_size_mismatch_raises(self):
+        tensor, factors = problem()
+        with pytest.raises(DistributionError):
+            stationary_mttkrp(tensor, factors, 0, (2, 2, 2), machine=SimulatedMachine(4))
+
+
+class TestGeneralCorrectness:
+    @pytest.mark.parametrize(
+        "grid", [(1, 1, 1, 1), (2, 1, 1, 1), (1, 2, 2, 1), (2, 2, 1, 1), (3, 2, 1, 2), (2, 2, 3, 2)]
+    )
+    def test_matches_reference(self, grid):
+        tensor, factors = problem((8, 6, 4), 6, seed=8)
+        for mode in range(3):
+            result = general_mttkrp(tensor, factors, mode, grid)
+            assert np.allclose(result.assemble(), mttkrp(tensor, factors, mode))
+
+    def test_p0_equal_one_matches_stationary_communication(self):
+        """With P_0 = 1 Algorithm 4 degenerates to Algorithm 3 (same traffic)."""
+        shape, rank = (8, 8, 8), 4
+        tensor, factors = problem(shape, rank, seed=9)
+        stationary = stationary_mttkrp(tensor, factors, 0, (2, 2, 2))
+        general = general_mttkrp(tensor, factors, 0, (1, 2, 2, 2))
+        assert general.max_words_communicated == stationary.max_words_communicated
+        assert np.allclose(general.assemble(), stationary.assemble())
+
+    def test_four_way_tensor(self):
+        tensor, factors = problem((4, 3, 4, 2), 4, seed=10)
+        result = general_mttkrp(tensor, factors, 3, (2, 2, 1, 2, 1))
+        assert np.allclose(result.assemble(), mttkrp(tensor, factors, 3))
+
+    def test_wrong_grid_arity_raises(self):
+        tensor, factors = problem()
+        with pytest.raises(DistributionError):
+            general_mttkrp(tensor, factors, 0, (2, 2, 2))
+
+    def test_measured_cost_matches_grid_cost_model(self):
+        shape, rank, grid = (8, 8, 8), 8, (2, 2, 2, 1)
+        tensor, factors = problem(shape, rank, seed=11)
+        result = general_mttkrp(tensor, factors, 0, grid)
+        assert result.max_words_communicated == general_grid_cost(shape, rank, grid)
+
+    def test_column_partitioning_reduces_factor_traffic(self):
+        """For rank-dominated problems a P_0 > 1 grid communicates less."""
+        shape, rank = (4, 4, 4), 32
+        tensor, factors = problem(shape, rank, seed=12)
+        flat = general_mttkrp(tensor, factors, 0, (1, 2, 2, 2)).max_words_communicated
+        split = general_mttkrp(tensor, factors, 0, (8, 1, 1, 1)).max_words_communicated
+        assert split < flat
+
+
+class TestMeasuredAgainstLowerBounds:
+    @pytest.mark.parametrize("n_procs,grid", [(4, (1, 2, 2)), (8, (2, 2, 2)), (16, (4, 2, 2))])
+    def test_sends_plus_receives_respect_lower_bound(self, n_procs, grid):
+        shape, rank = (16, 16, 16), 4
+        tensor, factors = problem(shape, rank, seed=13)
+        result = stationary_mttkrp(tensor, factors, 0, grid)
+        machine = result.machine
+        sends_plus_receives = int(
+            np.max(machine.words_sent + machine.words_received)
+        )
+        bound = combined_parallel_lower_bound(shape, rank, n_procs).combined
+        assert sends_plus_receives >= bound - 1e-9

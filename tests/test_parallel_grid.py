@@ -1,0 +1,98 @@
+"""Unit tests for processor grids and their communicator groups."""
+
+import pytest
+
+from repro.exceptions import GridError
+from repro.parallel.grid import ProcessorGrid
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        grid = ProcessorGrid((2, 3, 4))
+        assert grid.n_procs == 24
+        for rank in range(24):
+            assert grid.rank(grid.coords(rank)) == rank
+
+    def test_row_major_ordering(self):
+        grid = ProcessorGrid((2, 3))
+        assert grid.coords(0) == (0, 0)
+        assert grid.coords(1) == (0, 1)
+        assert grid.coords(3) == (1, 0)
+
+    def test_out_of_range(self):
+        grid = ProcessorGrid((2, 2))
+        with pytest.raises(GridError):
+            grid.coords(4)
+        with pytest.raises(GridError):
+            grid.rank((2, 0))
+        with pytest.raises(GridError):
+            grid.rank((0,))
+
+    def test_all_coords_order(self):
+        grid = ProcessorGrid((2, 2))
+        assert list(grid.all_coords()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_invalid_dims(self):
+        with pytest.raises(GridError):
+            ProcessorGrid(())
+
+
+class TestGroups:
+    def test_hyperslice_size(self):
+        grid = ProcessorGrid((2, 3, 4))
+        for rank in range(grid.n_procs):
+            assert len(grid.hyperslice(0, rank)) == 12
+            assert len(grid.hyperslice(1, rank)) == 8
+            assert len(grid.hyperslice(2, rank)) == 6
+
+    def test_hyperslice_contains_rank(self):
+        grid = ProcessorGrid((2, 3, 4))
+        for rank in range(grid.n_procs):
+            for dim in range(3):
+                assert rank in grid.hyperslice(dim, rank)
+
+    def test_hyperslices_partition_the_machine(self):
+        grid = ProcessorGrid((2, 3, 2))
+        seen = set()
+        for value in range(3):
+            group = grid.slice_group({1: value})
+            assert not (seen & set(group))
+            seen.update(group)
+        assert seen == set(range(grid.n_procs))
+
+    def test_fiber(self):
+        grid = ProcessorGrid((2, 3, 4))
+        rank = grid.rank((1, 2, 3))
+        fiber = grid.fiber(0, rank)
+        assert len(fiber) == 2
+        coords = [grid.coords(r) for r in fiber]
+        assert all(c[1] == 2 and c[2] == 3 for c in coords)
+
+    def test_joint_slice(self):
+        grid = ProcessorGrid((2, 3, 4))
+        rank = grid.rank((1, 1, 1))
+        group = grid.joint_slice([0, 2], rank)
+        assert len(group) == 3
+        assert all(grid.coords(r)[0] == 1 and grid.coords(r)[2] == 1 for r in group)
+
+    def test_group_ordering_is_by_rank(self):
+        grid = ProcessorGrid((2, 2, 2))
+        group = grid.slice_group({0: 1})
+        assert group == sorted(group)
+
+    def test_position_in_group(self):
+        grid = ProcessorGrid((2, 2))
+        group = grid.slice_group({0: 0})
+        assert grid.position_in_group(group[1], group) == 1
+
+    def test_position_not_in_group(self):
+        grid = ProcessorGrid((2, 2))
+        with pytest.raises(GridError):
+            grid.position_in_group(3, [0, 1])
+
+    def test_invalid_fixed_dim(self):
+        grid = ProcessorGrid((2, 2))
+        with pytest.raises(GridError):
+            grid.slice_group({5: 0})
+        with pytest.raises(GridError):
+            grid.slice_group({0: 7})

@@ -1,0 +1,69 @@
+"""Tests for the latency (message-count) accounting of the simulated machine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MachineError
+from repro.parallel.collectives import all_gather, reduce_scatter
+from repro.parallel.machine import SimulatedMachine
+from repro.parallel.stationary import stationary_mttkrp
+from repro.tensor.random import random_factors, random_tensor
+
+
+class TestMessageCounters:
+    def test_charge_and_summary(self):
+        machine = SimulatedMachine(3)
+        machine.charge_messages(1, 5)
+        assert machine.messages_sent[1] == 5
+        assert machine.max_messages_sent == 5
+        assert machine.summary()["max_messages_sent"] == 5
+
+    def test_negative_rejected(self):
+        machine = SimulatedMachine(2)
+        with pytest.raises(MachineError):
+            machine.charge_messages(0, -1)
+
+    def test_reset_clears_messages(self):
+        machine = SimulatedMachine(2)
+        machine.charge_messages(0, 3)
+        machine.reset()
+        assert machine.max_messages_sent == 0
+
+
+class TestCollectiveLatency:
+    def test_all_gather_messages(self):
+        machine = SimulatedMachine(4)
+        blocks = {r: np.ones(3) for r in range(4)}
+        all_gather(machine, list(range(4)), blocks)
+        # bucket algorithm: q - 1 = 3 messages per rank
+        assert all(machine.messages_sent[r] == 3 for r in range(4))
+
+    def test_reduce_scatter_messages(self):
+        machine = SimulatedMachine(5)
+        contributions = {r: np.ones(10) for r in range(5)}
+        reduce_scatter(machine, list(range(5)), contributions)
+        assert all(machine.messages_sent[r] == 4 for r in range(5))
+
+    def test_single_rank_group_no_messages(self):
+        machine = SimulatedMachine(2)
+        all_gather(machine, [0], {0: np.ones(2)})
+        assert machine.max_messages_sent == 0
+
+
+class TestAlgorithmLatency:
+    def test_stationary_message_count(self):
+        """Algorithm 3 on a q^N grid: N collectives, each over P^{(N-1)/N} ranks."""
+        shape, rank, grid = (8, 8, 8), 4, (2, 2, 2)
+        tensor = random_tensor(shape, seed=0)
+        factors = random_factors(shape, rank, seed=1)
+        result = stationary_mttkrp(tensor, factors, 0, grid)
+        # each of the 3 collectives runs over 4 ranks -> 3 messages each
+        assert result.machine.max_messages_sent == 3 * 3
+
+    def test_latency_grows_with_hyperslice_size(self):
+        shape, rank = (8, 8, 8), 4
+        tensor = random_tensor(shape, seed=2)
+        factors = random_factors(shape, rank, seed=3)
+        balanced = stationary_mttkrp(tensor, factors, 0, (2, 2, 2)).machine.max_messages_sent
+        skewed = stationary_mttkrp(tensor, factors, 0, (8, 1, 1)).machine.max_messages_sent
+        assert skewed > balanced

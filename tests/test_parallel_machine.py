@@ -1,0 +1,92 @@
+"""Unit tests for the simulated distributed machine."""
+
+import pytest
+
+from repro.exceptions import MachineError
+from repro.parallel.machine import CommunicationRecord, SimulatedMachine
+
+
+class TestCharging:
+    def test_send_receive_flops(self):
+        machine = SimulatedMachine(4)
+        machine.charge_send(0, 10)
+        machine.charge_receive(1, 7)
+        machine.charge_flops(2, 100)
+        assert machine.words_sent[0] == 10
+        assert machine.words_received[1] == 7
+        assert machine.flops[2] == 100
+
+    def test_summaries(self):
+        machine = SimulatedMachine(3)
+        machine.charge_send(0, 5)
+        machine.charge_send(1, 9)
+        machine.charge_receive(2, 11)
+        assert machine.max_words_sent == 9
+        assert machine.max_words_received == 11
+        assert machine.max_words_communicated == 11
+        assert machine.total_words_sent == 14
+
+    def test_summary_dict(self):
+        machine = SimulatedMachine(2)
+        machine.charge_send(0, 3)
+        summary = machine.summary()
+        assert summary["n_procs"] == 2
+        assert summary["max_words_sent"] == 3
+
+    def test_reset(self):
+        machine = SimulatedMachine(2)
+        machine.charge_send(0, 3)
+        machine.log(CommunicationRecord("all_gather", (0, 1), 3))
+        machine.reset()
+        assert machine.total_words_sent == 0
+        assert machine.records == []
+
+    def test_invalid_rank(self):
+        machine = SimulatedMachine(2)
+        with pytest.raises(MachineError):
+            machine.charge_send(2, 1)
+        with pytest.raises(MachineError):
+            machine.charge_receive(-1, 1)
+
+    def test_negative_words_rejected(self):
+        machine = SimulatedMachine(2)
+        with pytest.raises(MachineError):
+            machine.charge_send(0, -5)
+        with pytest.raises(MachineError):
+            machine.charge_flops(0, -5)
+
+
+class TestGroups:
+    def test_valid_group(self):
+        machine = SimulatedMachine(4)
+        assert machine.check_group([2, 0, 3]) == [2, 0, 3]
+
+    def test_duplicate_ranks_rejected(self):
+        machine = SimulatedMachine(4)
+        with pytest.raises(MachineError):
+            machine.check_group([0, 0, 1])
+
+    def test_empty_group_rejected(self):
+        machine = SimulatedMachine(4)
+        with pytest.raises(MachineError):
+            machine.check_group([])
+
+
+class TestStorageTracking:
+    def test_high_water_mark(self):
+        machine = SimulatedMachine(2)
+        machine.charge_storage(0, 100)
+        machine.charge_storage(0, 50)
+        assert machine.storage_high_water[0] == 100
+        assert machine.max_storage == 100
+
+    def test_local_memory_enforced(self):
+        machine = SimulatedMachine(2, local_memory_words=64)
+        machine.charge_storage(0, 64)
+        with pytest.raises(MachineError):
+            machine.charge_storage(1, 65)
+
+    def test_negative_storage_rejected(self):
+        machine = SimulatedMachine(2)
+        with pytest.raises(MachineError):
+            machine.charge_storage(0, -1)

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.hbl import verify_hbl_inequality
+from repro.bounds.lemmas import max_product_given_sum, min_sum_given_product
+from repro.core.kernels import mttkrp
+from repro.core.matmul_baseline import mttkrp_via_matmul
+from repro.core.reference import mttkrp_reference
+from repro.sequential.blocked import blocked_io_cost, sequential_blocked_mttkrp
+from repro.costmodel.sequential_model import blocked_cost_upper_bound
+from repro.tensor.khatri_rao import khatri_rao
+from repro.tensor.matricization import fold, unfold
+from repro.utils.partition import partition_bounds, partition_sizes
+
+# Shared strategies ---------------------------------------------------------
+
+small_shapes = st.lists(st.integers(min_value=1, max_value=5), min_size=2, max_size=4).map(tuple)
+small_rank = st.integers(min_value=1, max_value=4)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+common_settings = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def make_problem(shape, rank, seed):
+    rng = np.random.default_rng(seed)
+    tensor = rng.standard_normal(shape)
+    factors = [rng.standard_normal((d, rank)) for d in shape]
+    return tensor, factors
+
+
+# Tensor algebra properties ---------------------------------------------------
+
+
+class TestUnfoldProperties:
+    @common_settings
+    @given(shape=small_shapes, seed=seeds)
+    def test_unfold_fold_roundtrip(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(shape)
+        for mode in range(len(shape)):
+            assert np.allclose(fold(unfold(x, mode), mode, shape), x)
+
+    @common_settings
+    @given(shape=small_shapes, seed=seeds)
+    def test_unfold_preserves_multiset_of_entries(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(shape)
+        for mode in range(len(shape)):
+            assert np.isclose(np.sort(unfold(x, mode).ravel()).sum(), x.sum())
+            assert np.isclose(np.linalg.norm(unfold(x, mode)), np.linalg.norm(x))
+
+
+class TestKhatriRaoProperties:
+    @common_settings
+    @given(
+        rows=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=3),
+        rank=small_rank,
+        seed=seeds,
+    )
+    def test_row_count_is_product(self, rows, rank, seed):
+        rng = np.random.default_rng(seed)
+        mats = [rng.standard_normal((r, rank)) for r in rows]
+        assert khatri_rao(mats).shape == (int(np.prod(rows)), rank)
+
+    @common_settings
+    @given(
+        rows=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=3),
+        rank=small_rank,
+        seed=seeds,
+    )
+    def test_bilinearity_in_first_operand(self, rows, rank, seed):
+        rng = np.random.default_rng(seed)
+        mats = [rng.standard_normal((r, rank)) for r in rows]
+        scaled = [2.0 * mats[0]] + mats[1:]
+        assert np.allclose(khatri_rao(scaled), 2.0 * khatri_rao(mats))
+
+
+class TestMTTKRPProperties:
+    @common_settings
+    @given(shape=small_shapes, rank=small_rank, seed=seeds)
+    def test_kernels_agree_on_random_problems(self, shape, rank, seed):
+        tensor, factors = make_problem(shape, rank, seed)
+        mode = seed % len(shape)
+        fast = mttkrp(tensor, factors, mode)
+        baseline = mttkrp_via_matmul(tensor, factors, mode)
+        assert np.allclose(fast, baseline, atol=1e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(shape=st.just((3, 3, 3)), rank=st.integers(1, 3), seed=seeds)
+    def test_fast_kernel_matches_atomic_reference(self, shape, rank, seed):
+        tensor, factors = make_problem(shape, rank, seed)
+        for mode in range(3):
+            assert np.allclose(
+                mttkrp(tensor, factors, mode), mttkrp_reference(tensor, factors, mode), atol=1e-10
+            )
+
+    @common_settings
+    @given(shape=small_shapes, rank=small_rank, seed=seeds)
+    def test_scaling_the_tensor_scales_the_output(self, shape, rank, seed):
+        tensor, factors = make_problem(shape, rank, seed)
+        mode = 0
+        assert np.allclose(
+            mttkrp(3.0 * tensor, factors, mode), 3.0 * mttkrp(tensor, factors, mode)
+        )
+
+
+# Partition invariants -------------------------------------------------------
+
+
+class TestPartitionProperties:
+    @common_settings
+    @given(extent=st.integers(0, 200), parts=st.integers(1, 20))
+    def test_sizes_sum_and_balance(self, extent, parts):
+        sizes = partition_sizes(extent, parts)
+        assert sum(sizes) == extent
+        assert len(sizes) == parts
+        assert max(sizes) - min(sizes) <= 1
+
+    @common_settings
+    @given(extent=st.integers(1, 200), parts=st.integers(1, 20))
+    def test_bounds_are_contiguous_and_ordered(self, extent, parts):
+        bounds = partition_bounds(extent, parts)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == extent
+        for (s0, e0), (s1, e1) in zip(bounds, bounds[1:]):
+            assert e0 == s1
+            assert s1 <= e1
+
+
+# Lemma invariants ------------------------------------------------------------
+
+
+class TestLemmaProperties:
+    @common_settings
+    @given(
+        s=st.lists(st.floats(min_value=0.05, max_value=3.0), min_size=1, max_size=5),
+        budget=st.floats(min_value=0.5, max_value=1000.0),
+        seed=seeds,
+    )
+    def test_lemma_43_dominates_random_feasible_points(self, s, budget, seed):
+        s = np.asarray(s)
+        best = max_product_given_sum(s, budget)
+        rng = np.random.default_rng(seed)
+        x = rng.dirichlet(np.ones(len(s))) * budget
+        assert np.prod(x**s) <= best * (1 + 1e-8)
+
+    @common_settings
+    @given(
+        s=st.lists(st.floats(min_value=0.05, max_value=3.0), min_size=1, max_size=5),
+        floor=st.floats(min_value=0.5, max_value=1000.0),
+        seed=seeds,
+    )
+    def test_lemma_44_lower_bounds_random_feasible_points(self, s, floor, seed):
+        s = np.asarray(s)
+        best = min_sum_given_product(s, floor)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.1, 50.0, size=len(s))
+        if np.prod(x**s) >= floor:
+            assert np.sum(x) >= best * (1 - 1e-8)
+
+    @common_settings
+    @given(
+        n_modes=st.integers(2, 4),
+        n_points=st.integers(1, 30),
+        seed=seeds,
+    )
+    def test_hbl_inequality_on_random_iteration_subsets(self, n_modes, n_points, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.integers(0, 5, size=(n_points, n_modes + 1))
+        count, bound = verify_hbl_inequality(points, n_modes)
+        assert count <= bound + 1e-9
+
+
+# Sequential algorithm invariants ---------------------------------------------
+
+
+class TestBlockedAlgorithmProperties:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shape=st.lists(st.integers(2, 6), min_size=2, max_size=3).map(tuple),
+        rank=st.integers(1, 3),
+        block=st.integers(1, 4),
+        seed=seeds,
+    )
+    def test_correct_and_within_upper_bound_for_any_block(self, shape, rank, block, seed):
+        tensor, factors = make_problem(shape, rank, seed)
+        mode = seed % len(shape)
+        result = sequential_blocked_mttkrp(tensor, factors, mode, block=block)
+        assert np.allclose(result.result, mttkrp(tensor, factors, mode), atol=1e-10)
+        assert result.words_moved == blocked_io_cost(shape, rank, mode, block)
+        assert result.words_moved <= blocked_cost_upper_bound(shape, rank, block) + 1e-9

@@ -1,0 +1,77 @@
+"""Unit tests for block-size selection (Eq. (11)/(22))."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sequential.block_size import (
+    block_size_is_valid,
+    choose_block_size,
+    max_block_size,
+    minimum_memory_for_block,
+    working_set_words,
+)
+
+
+class TestWorkingSet:
+    def test_formula(self):
+        assert working_set_words(4, 3) == 64 + 12
+        assert working_set_words(1, 5) == 1 + 5
+
+    def test_minimum_memory(self):
+        assert minimum_memory_for_block(2, 3) == 8 + 6
+
+
+class TestValidity:
+    def test_valid_and_invalid(self):
+        assert block_size_is_valid(4, 3, 100)
+        assert not block_size_is_valid(5, 3, 100)
+
+    def test_block_one_needs_n_plus_one(self):
+        assert block_size_is_valid(1, 3, 4)
+        assert not block_size_is_valid(1, 3, 3)
+
+
+class TestMaxBlockSize:
+    def test_returns_largest_valid(self):
+        b = max_block_size(3, 100)
+        assert block_size_is_valid(b, 3, 100)
+        assert not block_size_is_valid(b + 1, 3, 100)
+
+    def test_small_memory_gives_one(self):
+        assert max_block_size(3, 4) == 1
+
+    def test_too_small_memory_raises(self):
+        with pytest.raises(ParameterError):
+            max_block_size(3, 3)
+
+    @pytest.mark.parametrize("n_modes", [2, 3, 4, 5])
+    @pytest.mark.parametrize("memory", [16, 100, 1000, 10_000])
+    def test_always_valid(self, n_modes, memory):
+        b = max_block_size(n_modes, memory)
+        assert block_size_is_valid(b, n_modes, memory)
+
+
+class TestChooseBlockSize:
+    def test_respects_constraint(self):
+        for memory in (8, 64, 512, 4096):
+            b = choose_block_size(3, memory)
+            assert block_size_is_valid(b, 3, memory)
+
+    def test_grows_with_memory(self):
+        assert choose_block_size(3, 10_000) > choose_block_size(3, 100)
+
+    def test_approx_m_to_the_one_over_n(self):
+        memory = 10**6
+        b = choose_block_size(3, memory)
+        assert 0.5 * memory ** (1 / 3) <= b <= memory ** (1 / 3)
+
+    def test_clamped_by_shape(self):
+        b = choose_block_size(3, 10**6, shape=(8, 8, 8))
+        assert b <= 8
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ParameterError):
+            choose_block_size(3, 100, alpha=1.5)
+
+    def test_minimum_one(self):
+        assert choose_block_size(4, 5) == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the DenseTensor wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor.dense import DenseTensor, as_ndarray
+
+
+class TestConstruction:
+    def test_from_array(self):
+        t = DenseTensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_integer_input_promoted_to_float(self):
+        t = DenseTensor(np.arange(6).reshape(2, 3))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ShapeError):
+            DenseTensor(np.float64(3.0))
+
+    def test_zeros_constructor(self):
+        t = DenseTensor.zeros((2, 3, 4))
+        assert t.shape == (2, 3, 4)
+        assert t.norm() == 0.0
+
+    def test_from_function(self):
+        t = DenseTensor.from_function((2, 3), lambda idx: idx[0] * 10 + idx[1])
+        assert t.data[1, 2] == 12
+
+
+class TestOperations:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.t = DenseTensor(rng.standard_normal((3, 4, 5)))
+
+    def test_norm_matches_numpy(self):
+        assert np.isclose(self.t.norm(), np.linalg.norm(self.t.data))
+
+    def test_copy_is_deep(self):
+        c = self.t.copy()
+        c.data[0, 0, 0] = 123.0
+        assert self.t.data[0, 0, 0] != 123.0
+
+    def test_unfold_roundtrip(self):
+        u = self.t.unfold(1)
+        back = DenseTensor.from_unfolding(u, 1, self.t.shape)
+        assert np.allclose(back.data, self.t.data)
+
+    def test_equality(self):
+        assert self.t == self.t.copy()
+        assert not (self.t == DenseTensor.zeros(self.t.shape))
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(self.t)
+
+    def test_mode_dims_except(self):
+        assert self.t.mode_dims_except(1) == (3, 5)
+
+
+class TestSubtensor:
+    def setup_method(self):
+        self.t = DenseTensor(np.arange(24, dtype=float).reshape(2, 3, 4))
+
+    def test_extract(self):
+        sub = self.t.subtensor([(0, 2), (1, 3), (0, 2)])
+        assert sub.shape == (2, 2, 2)
+        assert np.array_equal(sub, self.t.data[0:2, 1:3, 0:2])
+
+    def test_extract_is_a_copy(self):
+        sub = self.t.subtensor([(0, 1), (0, 1), (0, 1)])
+        sub[0, 0, 0] = -1.0
+        assert self.t.data[0, 0, 0] == 0.0
+
+    def test_wrong_number_of_ranges(self):
+        with pytest.raises(ShapeError):
+            self.t.subtensor([(0, 1), (0, 1)])
+
+    def test_out_of_bounds_range(self):
+        with pytest.raises(ShapeError):
+            self.t.subtensor([(0, 3), (0, 1), (0, 1)])
+
+
+class TestAsNdarray:
+    def test_passthrough(self):
+        arr = np.zeros((2, 2))
+        assert as_ndarray(arr) is arr
+
+    def test_unwraps_dense_tensor(self):
+        t = DenseTensor(np.zeros((2, 2)))
+        assert as_ndarray(t) is t.data
+
+    def test_converts_lists(self):
+        assert as_ndarray([[1.0, 2.0]]).shape == (1, 2)

@@ -1,0 +1,125 @@
+"""Unit tests for Khatri-Rao products and Hadamard helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor.khatri_rao import (
+    hadamard_all,
+    implicit_krp_column_count,
+    khatri_rao,
+    khatri_rao_excluding,
+    khatri_rao_row,
+)
+from repro.tensor.matricization import unfold
+
+
+class TestKhatriRao:
+    def test_shape(self):
+        a = np.ones((3, 4))
+        b = np.ones((5, 4))
+        assert khatri_rao([a, b]).shape == (15, 4)
+
+    def test_matches_columnwise_kron(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((5, 4))
+        kr = khatri_rao([a, b])
+        for r in range(4):
+            assert np.allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_three_operands_associativity(self):
+        rng = np.random.default_rng(1)
+        a, b, c = (rng.standard_normal((d, 3)) for d in (2, 3, 4))
+        left = khatri_rao([khatri_rao([a, b]), c])
+        flat = khatri_rao([a, b, c])
+        assert np.allclose(left, flat)
+
+    def test_single_operand_is_copy(self):
+        a = np.arange(6, dtype=float).reshape(3, 2)
+        out = khatri_rao([a])
+        assert np.array_equal(out, a)
+        out[0, 0] = 99.0
+        assert a[0, 0] == 0.0
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([np.ones((3, 4)), np.ones((5, 3))])
+
+    def test_empty_input(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([np.ones(3), np.ones((5, 1))])
+
+
+class TestKhatriRaoExcluding:
+    def test_kruskal_identity(self):
+        """X_(n) = A_n @ khatri_rao_excluding(factors, n).T for a rank-1 tensor."""
+        rng = np.random.default_rng(2)
+        shape = (3, 4, 5)
+        factors = [rng.standard_normal((d, 2)) for d in shape]
+        # build the rank-2 tensor explicitly
+        x = np.zeros(shape)
+        for r in range(2):
+            x += np.einsum("i,j,k->ijk", factors[0][:, r], factors[1][:, r], factors[2][:, r])
+        for mode in range(3):
+            krp = khatri_rao_excluding(factors, mode)
+            assert np.allclose(unfold(x, mode), factors[mode] @ krp.T)
+
+    def test_shape(self):
+        factors = [np.ones((3, 2)), np.ones((4, 2)), np.ones((5, 2))]
+        assert khatri_rao_excluding(factors, 1).shape == (15, 2)
+
+    def test_none_at_excluded_mode_is_ok(self):
+        factors = [np.ones((3, 2)), None, np.ones((5, 2))]
+        assert khatri_rao_excluding(factors, 1).shape == (15, 2)
+
+    def test_none_at_required_mode_raises(self):
+        factors = [None, np.ones((4, 2)), np.ones((5, 2))]
+        with pytest.raises(ShapeError):
+            khatri_rao_excluding(factors, 1)
+
+    def test_two_mode_case(self):
+        factors = [np.ones((3, 2)), np.ones((4, 2))]
+        assert khatri_rao_excluding(factors, 0).shape == (4, 2)
+
+
+class TestKhatriRaoRow:
+    def test_matches_full_product(self):
+        rng = np.random.default_rng(3)
+        factors = [rng.standard_normal((d, 4)) for d in (3, 4, 5)]
+        mode = 1
+        row = khatri_rao_row(factors, mode, [2, 3])  # i1=2, i3=3
+        expected = factors[0][2, :] * factors[2][3, :]
+        assert np.allclose(row, expected)
+
+    def test_wrong_number_of_indices(self):
+        factors = [np.ones((3, 2)), np.ones((4, 2)), np.ones((5, 2))]
+        with pytest.raises(ShapeError):
+            khatri_rao_row(factors, 0, [1])
+
+
+class TestHadamard:
+    def test_product_of_grams(self):
+        rng = np.random.default_rng(4)
+        mats = [rng.standard_normal((3, 3)) for _ in range(3)]
+        result = hadamard_all(mats)
+        assert np.allclose(result, mats[0] * mats[1] * mats[2])
+
+    def test_skip(self):
+        mats = [np.full((2, 2), 2.0), np.full((2, 2), 3.0), np.full((2, 2), 5.0)]
+        assert np.allclose(hadamard_all(mats, skip=1), np.full((2, 2), 10.0))
+
+    def test_skip_allows_none(self):
+        mats = [np.full((2, 2), 2.0), None, np.full((2, 2), 5.0)]
+        assert np.allclose(hadamard_all(mats, skip=1), np.full((2, 2), 10.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            hadamard_all([np.ones((2, 2)), np.ones((3, 3))])
+
+    def test_column_count_helper(self):
+        assert implicit_krp_column_count((3, 4, 5), 1) == 15

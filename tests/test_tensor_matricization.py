@@ -1,0 +1,67 @@
+"""Unit tests for mode-n matricization and folding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tensor.matricization import fold, mode_product_shape, unfold
+
+
+class TestUnfoldShape:
+    def test_shapes(self):
+        x = np.arange(2 * 3 * 4, dtype=float).reshape(2, 3, 4)
+        assert unfold(x, 0).shape == (2, 12)
+        assert unfold(x, 1).shape == (3, 8)
+        assert unfold(x, 2).shape == (4, 6)
+
+    def test_mode_product_shape(self):
+        assert mode_product_shape((2, 3, 4), 1) == (3, 8)
+
+    def test_four_way(self):
+        x = np.zeros((2, 3, 4, 5))
+        assert unfold(x, 3).shape == (5, 24)
+
+
+class TestUnfoldIndexConvention:
+    def test_kolda_bader_column_order(self):
+        # entry (i1, i2, i3) of X maps to column j = i1 + i2*I1 (for mode 2),
+        # i.e. the smallest remaining mode varies fastest.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 4, 5))
+        u2 = unfold(x, 2)
+        for i1 in range(3):
+            for i2 in range(4):
+                for i3 in range(5):
+                    j = i1 + i2 * 3
+                    assert u2[i3, j] == x[i1, i2, i3]
+
+    def test_mode0_matches_reshape(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 4, 5))
+        u0 = unfold(x, 0)
+        for i1 in range(3):
+            for i2 in range(4):
+                for i3 in range(5):
+                    assert u0[i1, i2 + i3 * 4] == x[i1, i2, i3]
+
+    def test_matrix_unfold_is_identity_or_transpose(self):
+        m = np.arange(12, dtype=float).reshape(3, 4)
+        assert np.array_equal(unfold(m, 0), m)
+        assert np.array_equal(unfold(m, 1), m.T)
+
+
+class TestFold:
+    def test_roundtrip_all_modes(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((3, 4, 5, 2))
+        for mode in range(4):
+            assert np.allclose(fold(unfold(x, mode), mode, x.shape), x)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ShapeError):
+            fold(np.zeros((3, 10)), 0, (3, 4, 5))
+
+    def test_preserves_norm(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 4, 4))
+        assert np.isclose(np.linalg.norm(unfold(x, 1)), np.linalg.norm(x))

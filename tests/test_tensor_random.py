@@ -1,0 +1,86 @@
+"""Unit tests for the random tensor / factor generators."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.random import (
+    noisy_low_rank_tensor,
+    random_factors,
+    random_kruskal_tensor,
+    random_low_rank_tensor,
+    random_tensor,
+)
+
+
+class TestRandomTensor:
+    def test_shape_and_dtype(self):
+        t = random_tensor((3, 4, 5), seed=0)
+        assert t.shape == (3, 4, 5)
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_seed_reproducibility(self):
+        a = random_tensor((3, 4), seed=42).data
+        b = random_tensor((3, 4), seed=42).data
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_tensor((3, 4), seed=1).data
+        b = random_tensor((3, 4), seed=2).data
+        assert not np.array_equal(a, b)
+
+    def test_uniform_distribution_range(self):
+        t = random_tensor((10, 10), seed=0, distribution="uniform").data
+        assert t.min() >= 0.0 and t.max() < 1.0
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            random_tensor((2, 2), distribution="cauchy")
+
+    def test_generator_argument(self):
+        rng = np.random.default_rng(7)
+        t = random_tensor((2, 2), seed=rng)
+        assert t.shape == (2, 2)
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        factors = random_factors((3, 4, 5), 2, seed=0)
+        assert [f.shape for f in factors] == [(3, 2), (4, 2), (5, 2)]
+
+    def test_nonnegative_option(self):
+        factors = random_factors((3, 4), 2, seed=0, nonnegative=True)
+        assert all(np.all(f >= 0) for f in factors)
+
+    def test_reproducible(self):
+        a = random_factors((3, 4), 2, seed=5)
+        b = random_factors((3, 4), 2, seed=5)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa, fb)
+
+
+class TestLowRankGenerators:
+    def test_kruskal_tensor_shape(self):
+        kt = random_kruskal_tensor((3, 4, 5), 2, seed=0)
+        assert kt.shape == (3, 4, 5)
+        assert kt.rank == 2
+
+    def test_low_rank_tensor_has_low_multilinear_rank(self):
+        t = random_low_rank_tensor((6, 7, 8), 2, seed=0)
+        # every unfolding of an exactly rank-2 CP tensor has matrix rank <= 2
+        from repro.tensor.matricization import unfold
+
+        for mode in range(3):
+            assert np.linalg.matrix_rank(unfold(t.data, mode), tol=1e-8) <= 2
+
+    def test_noisy_low_rank_norm_ratio(self):
+        clean = random_low_rank_tensor((6, 7, 8), 2, seed=3).data
+        noisy = noisy_low_rank_tensor((6, 7, 8), 2, noise_level=0.1, seed=3).data
+        assert noisy.shape == clean.shape
+        # noise level is relative; tensors should differ but not wildly
+        assert not np.allclose(noisy, clean)
+
+    def test_noise_level_zero_is_exact(self):
+        noisy = noisy_low_rank_tensor((4, 4, 4), 2, noise_level=0.0, seed=1)
+        from repro.tensor.matricization import unfold
+
+        assert np.linalg.matrix_rank(unfold(noisy.data, 0), tol=1e-8) <= 2

@@ -1,0 +1,98 @@
+"""Unit tests for the COO sparse tensor substrate and sparse MTTKRP."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import mttkrp
+from repro.exceptions import ParameterError, ShapeError
+from repro.tensor.random import random_factors
+from repro.tensor.sparse import SparseTensor, sparse_mttkrp, stationary_sparse_communication
+
+
+class TestSparseTensor:
+    def test_construction_and_properties(self):
+        st = SparseTensor(shape=(3, 4), coords=[[0, 0], [2, 3]], values=[1.0, 2.0])
+        assert st.ndim == 2
+        assert st.nnz == 2
+        assert np.isclose(st.density(), 2 / 12)
+
+    def test_to_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((4, 5, 3))
+        dense[np.abs(dense) < 0.8] = 0.0
+        st = SparseTensor.from_dense(dense)
+        assert np.allclose(st.to_dense(), dense)
+
+    def test_duplicates_are_summed(self):
+        st = SparseTensor(shape=(2, 2), coords=[[0, 0], [0, 0]], values=[1.0, 2.0])
+        assert st.to_dense()[0, 0] == 3.0
+
+    def test_coordinate_out_of_range(self):
+        with pytest.raises(ShapeError):
+            SparseTensor(shape=(2, 2), coords=[[0, 2]], values=[1.0])
+
+    def test_bad_values_length(self):
+        with pytest.raises(ShapeError):
+            SparseTensor(shape=(2, 2), coords=[[0, 0]], values=[1.0, 2.0])
+
+    def test_random_density(self):
+        st = SparseTensor.random((10, 10, 10), 0.05, seed=1)
+        assert 0.01 <= st.density() <= 0.1
+        assert st.coords.shape[1] == 3
+
+    def test_random_invalid_density(self):
+        with pytest.raises(ParameterError):
+            SparseTensor.random((4, 4), 0.0)
+
+
+class TestSparseMTTKRP:
+    @pytest.mark.parametrize("shape", [(5, 4), (4, 5, 3), (3, 3, 3, 3)])
+    def test_matches_dense_kernel(self, shape):
+        st = SparseTensor.random(shape, 0.3, seed=2)
+        factors = random_factors(shape, 3, seed=3)
+        dense = st.to_dense()
+        for mode in range(len(shape)):
+            assert np.allclose(
+                sparse_mttkrp(st, factors, mode), mttkrp(dense, factors, mode), atol=1e-10
+            )
+
+    def test_empty_tensor_gives_zero(self):
+        st = SparseTensor(shape=(4, 5, 3), coords=np.empty((0, 3), dtype=int), values=[])
+        factors = random_factors((4, 5, 3), 2, seed=4)
+        assert np.all(sparse_mttkrp(st, factors, 1) == 0.0)
+
+    def test_missing_factors_rejected(self):
+        st = SparseTensor.random((4, 4), 0.5, seed=5)
+        with pytest.raises(ParameterError):
+            sparse_mttkrp(st, [None, None], 0)
+
+    def test_none_at_output_mode_allowed(self):
+        st = SparseTensor.random((4, 4, 4), 0.5, seed=6)
+        factors = random_factors((4, 4, 4), 2, seed=7)
+        factors[1] = None
+        assert sparse_mttkrp(st, factors, 1).shape == (4, 2)
+
+
+class TestSparseCommunicationEstimate:
+    def test_dense_pattern_matches_dense_accounting(self):
+        """With every entry present, each processor touches all rows of its sub-blocks."""
+        shape, rank, grid = (8, 8, 8), 2, (2, 2, 2)
+        dense = np.ones(shape)
+        st = SparseTensor.from_dense(dense)
+        words = stationary_sparse_communication(st, rank, grid)
+        assert len(words) == 8
+        # each processor touches 4 rows per mode, 3 modes, rank 2 -> 24 words
+        assert all(w == 3 * 4 * rank for w in words)
+
+    def test_sparser_tensor_needs_fewer_words(self):
+        shape, rank, grid = (16, 16, 16), 4, (2, 2, 2)
+        dense = SparseTensor.from_dense(np.ones(shape))
+        sparse = SparseTensor.random(shape, 0.01, seed=8)
+        dense_words = stationary_sparse_communication(dense, rank, grid)
+        sparse_words = stationary_sparse_communication(sparse, rank, grid)
+        assert max(sparse_words) <= max(dense_words)
+
+    def test_grid_arity_check(self):
+        st = SparseTensor.random((4, 4), 0.5, seed=9)
+        with pytest.raises(ParameterError):
+            stationary_sparse_communication(st, 2, (2, 2, 2))

@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.indexing."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils.indexing import (
+    block_ranges,
+    block_starts,
+    iter_block_multi_ranges,
+    iter_multi_indices,
+    linear_index,
+    multi_index,
+    num_blocks,
+)
+
+
+class TestLinearMultiIndex:
+    def test_roundtrip(self):
+        shape = (3, 4, 5)
+        for lin in range(3 * 4 * 5):
+            assert linear_index(multi_index(lin, shape), shape) == lin
+
+    def test_row_major_order(self):
+        # last index varies fastest
+        assert linear_index((0, 0, 1), (2, 3, 4)) == 1
+        assert linear_index((0, 1, 0), (2, 3, 4)) == 4
+        assert linear_index((1, 0, 0), (2, 3, 4)) == 12
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ParameterError):
+            linear_index((0, 3), (2, 3))
+
+    def test_out_of_range_linear(self):
+        with pytest.raises(ParameterError):
+            multi_index(6, (2, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            linear_index((0, 0), (2, 3, 4))
+
+
+class TestIterMultiIndices:
+    def test_count(self):
+        assert len(list(iter_multi_indices((2, 3, 4)))) == 24
+
+    def test_order_matches_linear_index(self):
+        shape = (2, 3)
+        indices = list(iter_multi_indices(shape))
+        for lin, idx in enumerate(indices):
+            assert linear_index(idx, shape) == lin
+
+    def test_single_mode(self):
+        assert list(iter_multi_indices((3,))) == [(0,), (1,), (2,)]
+
+
+class TestBlocks:
+    def test_num_blocks(self):
+        assert num_blocks(10, 3) == 4
+        assert num_blocks(9, 3) == 3
+        assert num_blocks(1, 5) == 1
+
+    def test_block_starts(self):
+        assert block_starts(10, 4) == [0, 4, 8]
+
+    def test_block_ranges_cover_extent(self):
+        ranges = block_ranges(10, 4)
+        assert ranges == [(0, 4), (4, 8), (8, 10)]
+        covered = sum(stop - start for start, stop in ranges)
+        assert covered == 10
+
+    def test_block_ranges_exact_division(self):
+        assert block_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_block_larger_than_extent(self):
+        assert block_ranges(3, 10) == [(0, 3)]
+
+    def test_iter_block_multi_ranges_count(self):
+        blocks = list(iter_block_multi_ranges((5, 4), (2, 2)))
+        assert len(blocks) == 3 * 2
+
+    def test_iter_block_multi_ranges_cover(self):
+        shape = (5, 4, 3)
+        blocks = list(iter_block_multi_ranges(shape, (2, 3, 2)))
+        total = sum(
+            (r0[1] - r0[0]) * (r1[1] - r1[0]) * (r2[1] - r2[0]) for r0, r1, r2 in blocks
+        )
+        assert total == 5 * 4 * 3
+
+    def test_invalid_blocks_length(self):
+        with pytest.raises(ParameterError):
+            list(iter_block_multi_ranges((5, 4), (2,)))

@@ -1,0 +1,74 @@
+"""Unit tests for repro.utils.partition."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils.partition import (
+    balanced_split,
+    block_partition,
+    owner_of_index,
+    partition_bounds,
+    partition_sizes,
+    max_part_size,
+)
+
+
+class TestPartitionSizes:
+    def test_even_division(self):
+        assert partition_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_uneven_division(self):
+        assert partition_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_items(self):
+        sizes = partition_sizes(3, 5)
+        assert sizes == [1, 1, 1, 0, 0]
+
+    def test_sizes_sum_to_extent(self):
+        for extent in (1, 7, 16, 31):
+            for parts in (1, 2, 3, 8):
+                assert sum(partition_sizes(extent, parts)) == extent
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = partition_sizes(17, 5)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestPartitionBounds:
+    def test_contiguous_cover(self):
+        bounds = partition_bounds(10, 3)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 10
+        for (s0, e0), (s1, _) in zip(bounds, bounds[1:]):
+            assert e0 == s1
+
+    def test_block_partition_arrays(self):
+        parts = block_partition(6, 2)
+        assert np.array_equal(parts[0], np.arange(3))
+        assert np.array_equal(parts[1], np.arange(3, 6))
+
+    def test_owner_of_index(self):
+        for index in range(10):
+            owner = owner_of_index(index, 10, 3)
+            start, stop = partition_bounds(10, 3)[owner]
+            assert start <= index < stop
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ParameterError):
+            owner_of_index(10, 10, 3)
+
+    def test_max_part_size(self):
+        assert max_part_size(10, 3) == 4
+        assert max_part_size(9, 3) == 3
+        assert max_part_size(1, 4) == 1
+
+
+class TestBalancedSplit:
+    def test_splits_sequences(self):
+        chunks = balanced_split(list(range(7)), 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+        assert sum(chunks, []) == list(range(7))
+
+    def test_single_part(self):
+        assert balanced_split([1, 2, 3], 1) == [[1, 2, 3]]
