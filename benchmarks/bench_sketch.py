@@ -1,0 +1,92 @@
+"""Benchmark / reproduction harness for experiment ``sketch-crossover``.
+
+Sampled vs exact MTTKRP: raw kernel throughput at several draw counts, the
+randomized CP-ALS driver, and the error/speedup frontier of the seeded
+coherent acceptance problem, which is recorded as JSON
+(``benchmarks/sketch_frontier.json``, override with the
+``SKETCH_FRONTIER_JSON`` environment variable).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core.kernels import mttkrp
+from repro.experiments.sketch_crossover import (
+    DEFAULT_SHAPE,
+    SketchCrossoverRow,
+    coherent_problem,
+    format_sketch_crossover_table,
+    sketch_frontier,
+)
+from repro.sketch.randomized_als import randomized_cp_als
+from repro.sketch.sampled_mttkrp import sampled_mttkrp
+from repro.tensor.khatri_rao import implicit_krp_column_count
+
+DRAW_COUNTS = [500, 2000, 20000]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return coherent_problem(seed=1)
+
+
+def test_exact_kernel_reference(benchmark, problem):
+    """Exact einsum MTTKRP on the acceptance problem (the baseline timing)."""
+    tensor, factors = problem
+    result = benchmark(mttkrp, tensor, factors, 0)
+    assert result.shape == (DEFAULT_SHAPE[0], factors[0].shape[1])
+
+
+@pytest.mark.parametrize("n_draws", DRAW_COUNTS)
+def test_sampled_kernel_throughput(benchmark, problem, n_draws):
+    """Sampled MTTKRP (exact leverage scores) at increasing draw counts."""
+    tensor, factors = problem
+    rng = np.random.default_rng(7)
+    result = benchmark(
+        sampled_mttkrp, tensor, factors, 0, n_samples=n_draws, seed=rng
+    )
+    assert result.shape == (DEFAULT_SHAPE[0], factors[0].shape[1])
+
+
+def test_randomized_als_throughput(benchmark):
+    """Sketched CP-ALS (product-leverage, per-iteration resampling)."""
+    tensor, _ = coherent_problem((24, 24, 24), 4, seed=1)
+
+    def run():
+        return randomized_cp_als(tensor, 4, n_samples=512, seed=0, n_iter_max=10)
+
+    outcome = benchmark(run)
+    assert np.isfinite(outcome.exact_fit)
+
+
+def test_sketch_frontier_json():
+    """Record the speedup/error frontier of the seeded acceptance problem as JSON."""
+    frontier = sketch_frontier()
+    target = Path(
+        os.environ.get(
+            "SKETCH_FRONTIER_JSON", Path(__file__).parent / "sketch_frontier.json"
+        )
+    )
+    target.write_text(json.dumps(frontier, indent=2) + "\n", encoding="utf-8")
+
+    rows = [SketchCrossoverRow(**row) for row in frontier["rows"]]
+    emit("sketch-crossover", format_sketch_crossover_table(rows))
+
+    # Acceptance: exact leverage-score sampling reaches <= 5% relative error
+    # while materializing >= 10x fewer KRP rows than the full product.
+    krp_rows = frontier["problem"]["krp_rows"]
+    assert krp_rows == implicit_krp_column_count(DEFAULT_SHAPE, 0)
+    winners = [
+        row
+        for row in frontier["rows"]
+        if row["distribution"] == "leverage"
+        and row["rel_error"] <= 0.05
+        and row["distinct_rows"] * 10 <= krp_rows
+    ]
+    assert winners, "no leverage point met the <=5% error at >=10x fewer rows target"
+    assert json.loads(target.read_text(encoding="utf-8"))["rows"]

@@ -41,8 +41,15 @@ from repro.tensor import (
     noisy_low_rank_tensor,
 )
 from repro.cp import cp_als, parallel_cp_als
+from repro.sketch import (
+    draw_krp_samples,
+    krp_projection,
+    randomized_cp_als,
+    sampled_mttkrp,
+    sketched_mttkrp,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "mttkrp",
@@ -61,5 +68,10 @@ __all__ = [
     "noisy_low_rank_tensor",
     "cp_als",
     "parallel_cp_als",
+    "sampled_mttkrp",
+    "sketched_mttkrp",
+    "draw_krp_samples",
+    "krp_projection",
+    "randomized_cp_als",
     "__version__",
 ]

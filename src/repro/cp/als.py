@@ -36,6 +36,10 @@ _KERNELS = {
     "matmul": lambda tensor, factors, mode: mttkrp_via_matmul(tensor, factors, mode),
 }
 
+#: Kernel names resolvable by :func:`cp_als` (``"sampled"`` is registered
+#: lazily — see :func:`_resolve_kernel`).
+KERNEL_NAMES = ("einsum", "matmul", "sampled")
+
 
 @dataclass
 class CPALSResult:
@@ -67,12 +71,31 @@ class CPALSResult:
         return self.fits[-1] if self.fits else 0.0
 
 
-def _resolve_kernel(kernel: Union[str, MTTKRPKernel]) -> MTTKRPKernel:
+def _resolve_kernel(
+    kernel: Union[str, MTTKRPKernel],
+    seed: Union[None, int, np.random.Generator] = None,
+) -> MTTKRPKernel:
     if callable(kernel):
         return kernel
+    if kernel == "sampled":
+        # Imported lazily: repro.sketch layers on this driver, so a module-level
+        # import would be circular.  A fresh kernel is built per run so that an
+        # explicit seed makes the whole ALS run reproducible; it resamples on
+        # every call from the product-of-factor-leverage distribution.
+        from repro.sketch.sampled_mttkrp import make_sampled_kernel
+
+        if seed is None or isinstance(seed, np.random.Generator):
+            kernel_seed = seed
+        else:
+            # Spawn an independent stream so the kernel's draws are not the
+            # same bit stream the random initialisation consumes.
+            kernel_seed = np.random.SeedSequence(seed).spawn(1)[0]
+        return make_sampled_kernel(seed=kernel_seed)
     if kernel in _KERNELS:
         return _KERNELS[kernel]
-    raise ParameterError(f"unknown MTTKRP kernel {kernel!r}; use one of {sorted(_KERNELS)} or a callable")
+    raise ParameterError(
+        f"unknown MTTKRP kernel {kernel!r}; use one of {sorted(KERNEL_NAMES)} or a callable"
+    )
 
 
 def cp_als(
@@ -117,7 +140,7 @@ def cp_als(
     rank = check_rank(rank)
     if data.ndim < 2:
         raise ParameterError("CP-ALS requires a tensor with at least 2 modes")
-    mttkrp_kernel = _resolve_kernel(kernel)
+    mttkrp_kernel = _resolve_kernel(kernel, seed)
 
     if isinstance(init, str):
         factors = initialize_factors(data, rank, method=init, seed=seed)

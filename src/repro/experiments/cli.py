@@ -31,6 +31,10 @@ from repro.experiments.sequential_optimality import (
     format_sequential_optimality_table,
     sequential_optimality_rows,
 )
+from repro.experiments.sketch_crossover import (
+    format_sketch_crossover_table,
+    sketch_crossover_rows,
+)
 
 
 def _run_figure1(quick: bool) -> str:  # noqa: ARG001 - uniform signature
@@ -66,6 +70,19 @@ def _run_matmul(quick: bool) -> str:  # noqa: ARG001 - uniform signature
     return format_matmul_comparison_table(matmul_comparison_rows())
 
 
+def _run_sketch_crossover(quick: bool) -> str:
+    if quick:
+        rows = sketch_crossover_rows(
+            shape=(24, 24, 24),
+            rank=4,
+            draw_counts=[200, 1000],
+            distributions=("leverage", "product-leverage"),
+        )
+    else:
+        rows = sketch_crossover_rows()
+    return format_sketch_crossover_table(rows)
+
+
 #: Experiment id (DESIGN.md §4) -> harness.
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig1-projections": _run_figure1,
@@ -74,6 +91,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "tab-par-optimality": _run_parallel,
     "tab-crossover": _run_crossover,
     "tab-matmul-factors": _run_matmul,
+    "sketch-crossover": _run_sketch_crossover,
 }
 
 

@@ -1,0 +1,242 @@
+"""Experiment ``sketch-crossover``: sampled-vs-exact MTTKRP error/speedup frontier.
+
+The sampled kernel trades accuracy for data movement: fewer distinct
+Khatri-Rao rows mean fewer words and flops but higher estimator variance.
+This harness measures that frontier on a seeded coherent problem — a
+rank-``R`` tensor whose factor rows decay geometrically, the regime
+leverage-score sampling is designed for — and reports, per distribution and
+draw count:
+
+* the number of *distinct* rows materialized (the cost-relevant count) and
+  its fraction of ``J = prod_{k != mode} I_k``;
+* the relative Frobenius error against the exact einsum kernel;
+* the measured wall-clock speedup over the exact kernel;
+* the modelled word ratio against the optimal blocked algorithm (Eq. (13)).
+
+The same rows back the JSON frontier that ``benchmarks/bench_sketch.py``
+records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels import mttkrp
+from repro.costmodel.sequential_model import blocked_cost_simplified
+from repro.experiments.report import format_table
+from repro.sketch.costmodel import crossover_sample_count, sampled_mttkrp_words
+from repro.sketch.sampled_mttkrp import sampled_mttkrp
+from repro.sketch.sampling import draw_krp_samples
+from repro.tensor.khatri_rao import implicit_krp_column_count
+from repro.tensor.kruskal import KruskalTensor
+from repro.tensor.random import random_factors
+from repro.utils.validation import check_mode, check_rank, check_shape
+
+#: Default seeded problem: the acceptance configuration of the subsystem.
+DEFAULT_SHAPE = (50, 60, 70)
+DEFAULT_RANK = 10
+DEFAULT_MODE = 0
+DEFAULT_COHERENCE = 10.0
+DEFAULT_DRAW_COUNTS = (500, 2000, 5000, 20000)
+
+
+@dataclass(frozen=True)
+class SketchCrossoverRow:
+    """One (distribution, draw count) point of the error/speedup frontier.
+
+    Attributes
+    ----------
+    distribution:
+        Sampling distribution of the point.
+    n_draws:
+        Draws taken with replacement.
+    distinct_rows:
+        Distinct Khatri-Rao rows materialized (what costs scale with).
+    row_fraction:
+        ``distinct_rows / J``.
+    rel_error:
+        Relative Frobenius error vs the exact einsum kernel.
+    speedup:
+        Exact kernel wall time over the *end-to-end* sampled time (drawing
+        the distribution included — at small scale this can be < 1, since
+        exact leverage scores materialize the full Khatri-Rao block).
+    kernel_speedup:
+        Exact kernel wall time over the sampled kernel alone (samples
+        pre-drawn): the gather + sampled GEMM against the full einsum, i.e.
+        the per-iteration advantage once a distribution is reused.
+    modeled_word_ratio:
+        Modelled sampled words (at ``distinct_rows``) over the exact blocked
+        communication of Eq. (13).
+    """
+
+    distribution: str
+    n_draws: int
+    distinct_rows: int
+    row_fraction: float
+    rel_error: float
+    speedup: float
+    kernel_speedup: float
+    modeled_word_ratio: float
+
+
+def coherent_problem(
+    shape: Sequence[int] = DEFAULT_SHAPE,
+    rank: int = DEFAULT_RANK,
+    *,
+    coherence: float = DEFAULT_COHERENCE,
+    seed=1,
+):
+    """Seeded coherent CP problem: factors with geometrically decaying row norms.
+
+    Returns ``(tensor, factors)`` where the tensor is exactly rank-``rank``
+    in the returned factors — the near-converged ALS state in which the
+    sampled kernel is actually invoked.  ``coherence`` controls how fast the
+    row scales ``exp(-coherence * i / I_k)`` decay (0 gives the incoherent
+    Gaussian case where uniform sampling is already optimal).
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    factors = random_factors(shape, rank, seed=seed)
+    scaled = [
+        f * np.exp(-coherence * np.arange(f.shape[0]) / f.shape[0])[:, None]
+        for f in factors
+    ]
+    return KruskalTensor(scaled).full(), scaled
+
+
+def sketch_crossover_rows(
+    shape: Sequence[int] = DEFAULT_SHAPE,
+    rank: int = DEFAULT_RANK,
+    *,
+    mode: int = DEFAULT_MODE,
+    draw_counts: Sequence[int] = DEFAULT_DRAW_COUNTS,
+    distributions: Sequence[str] = ("uniform", "leverage", "product-leverage"),
+    coherence: float = DEFAULT_COHERENCE,
+    memory_words: int = 2**14,
+    seed: int = 1,
+    sample_seed: int = 7,
+) -> List[SketchCrossoverRow]:
+    """Measure the sampled-vs-exact frontier on the seeded coherent problem."""
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    tensor, factors = coherent_problem(shape, rank, coherence=coherence, seed=seed)
+    krp_rows = implicit_krp_column_count(shape, mode)
+
+    start = time.perf_counter()
+    exact = mttkrp(tensor, factors, mode)
+    exact_time = max(time.perf_counter() - start, 1e-9)
+    exact_norm = float(np.linalg.norm(exact))
+    blocked_words = blocked_cost_simplified(shape, rank, memory_words)
+
+    rng = np.random.default_rng(sample_seed)
+    rows: List[SketchCrossoverRow] = []
+    for distribution in distributions:
+        for n_draws in draw_counts:
+            start = time.perf_counter()
+            samples = draw_krp_samples(
+                factors, mode, int(n_draws), distribution=distribution, seed=rng
+            )
+            draw_time = max(time.perf_counter() - start, 1e-9)
+
+            start = time.perf_counter()
+            report = sampled_mttkrp(
+                tensor, factors, mode, samples=samples, return_report=True
+            )
+            kernel_time = max(time.perf_counter() - start, 1e-9)
+
+            error = float(np.linalg.norm(report.result - exact)) / max(exact_norm, 1e-12)
+            words = sampled_mttkrp_words(shape, rank, mode, report.distinct_rows)
+            rows.append(
+                SketchCrossoverRow(
+                    distribution=distribution,
+                    n_draws=int(n_draws),
+                    distinct_rows=report.distinct_rows,
+                    row_fraction=report.distinct_rows / krp_rows,
+                    rel_error=error,
+                    speedup=exact_time / (draw_time + kernel_time),
+                    kernel_speedup=exact_time / kernel_time,
+                    modeled_word_ratio=words / max(blocked_words, 1e-12),
+                )
+            )
+    return rows
+
+
+def format_sketch_crossover_table(rows: Optional[List[SketchCrossoverRow]] = None) -> str:
+    """Render the frontier as a text table."""
+    if rows is None:
+        rows = sketch_crossover_rows()
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.distribution,
+                row.n_draws,
+                row.distinct_rows,
+                row.row_fraction,
+                row.rel_error,
+                row.speedup,
+                row.kernel_speedup,
+                row.modeled_word_ratio,
+            ]
+        )
+    return format_table(
+        [
+            "distribution",
+            "draws",
+            "distinct rows",
+            "row fraction",
+            "rel error",
+            "speedup",
+            "kernel speedup",
+            "word ratio vs Eq.(13)",
+        ],
+        table_rows,
+        title="Sampled vs exact MTTKRP: error/speedup frontier (coherent seeded problem)",
+    )
+
+
+def sketch_frontier(
+    shape: Sequence[int] = DEFAULT_SHAPE,
+    rank: int = DEFAULT_RANK,
+    *,
+    mode: int = DEFAULT_MODE,
+    draw_counts: Sequence[int] = DEFAULT_DRAW_COUNTS,
+    distributions: Sequence[str] = ("uniform", "leverage", "product-leverage"),
+    coherence: float = DEFAULT_COHERENCE,
+    memory_words: int = 2**14,
+    seed: int = 1,
+    sample_seed: int = 7,
+) -> dict:
+    """JSON-serialisable error/speedup frontier (recorded by ``bench_sketch``)."""
+    rows = sketch_crossover_rows(
+        shape,
+        rank,
+        mode=mode,
+        draw_counts=draw_counts,
+        distributions=distributions,
+        coherence=coherence,
+        memory_words=memory_words,
+        seed=seed,
+        sample_seed=sample_seed,
+    )
+    return {
+        "problem": {
+            "shape": list(check_shape(shape)),
+            "rank": int(rank),
+            "mode": int(mode),
+            "coherence": float(coherence),
+            "memory_words": int(memory_words),
+            "seed": int(seed),
+            "sample_seed": int(sample_seed),
+            "krp_rows": implicit_krp_column_count(shape, mode),
+        },
+        "modeled_crossover_sample_count": crossover_sample_count(
+            shape, rank, mode, memory_words
+        ),
+        "rows": [asdict(row) for row in rows],
+    }

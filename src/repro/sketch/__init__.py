@@ -1,0 +1,91 @@
+"""Randomized/sampled MTTKRP: trading accuracy for communication.
+
+The paper's lower bounds hold for *exact* MTTKRP, where every point of the
+iteration space is evaluated.  This subpackage implements the randomized
+route around those bounds:
+
+* :mod:`repro.sketch.sampling` — row-sampling distributions over the
+  Khatri-Rao product (uniform, exact leverage scores, and the
+  product-of-factor-leverage approximation of Bharadwaj et al., 2023);
+* :mod:`repro.sketch.sampled_mttkrp` — the sampled MTTKRP kernel, which
+  materializes only the distinct drawn Khatri-Rao rows and matching tensor
+  fibers (dense or COO sparse), plus a closure factory conforming to the
+  CP-ALS ``MTTKRPKernel`` signature;
+* :mod:`repro.sketch.projections` — Khatri-Rao structured random projections
+  (Gaussian and sign-flip) per Saibaba, Verma & Ballard (2025);
+* :mod:`repro.sketch.costmodel` — flop/word costs of the sampled kernel,
+  parameterized by sample count and wired against the exact cost models and
+  the paper's sequential/parallel lower bounds;
+* :mod:`repro.sketch.randomized_als` — sketched CP-ALS with per-iteration
+  resampling and an exact-solve fallback.
+
+Accuracy is a tunable resource here: every entry point exposes the sample
+count / sketch size that trades estimator variance against words moved.
+"""
+
+from repro.sketch.sampling import (
+    DISTRIBUTIONS,
+    SampleSet,
+    draw_krp_samples,
+    factor_leverage_distribution,
+    krp_leverage_scores,
+    krp_row_distribution,
+    leverage_scores,
+)
+from repro.sketch.sampled_mttkrp import (
+    SampledMTTKRPReport,
+    default_sample_count,
+    make_sampled_kernel,
+    sampled_mttkrp,
+)
+from repro.sketch.projections import (
+    KRPProjection,
+    PROJECTION_KINDS,
+    krp_projection,
+    sketch_krp,
+    sketch_unfolding,
+    sketched_mttkrp,
+)
+from repro.sketch.costmodel import (
+    SampledVsExact,
+    crossover_sample_count,
+    optimal_sample_grid,
+    parallel_sampled_vs_bound,
+    parallel_sampled_words,
+    sampled_mttkrp_flops,
+    sampled_mttkrp_words,
+    sampled_vs_exact,
+    sampling_setup_words,
+)
+from repro.sketch.randomized_als import RandomizedCPALSResult, randomized_cp_als
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SampleSet",
+    "draw_krp_samples",
+    "factor_leverage_distribution",
+    "krp_leverage_scores",
+    "krp_row_distribution",
+    "leverage_scores",
+    "SampledMTTKRPReport",
+    "default_sample_count",
+    "make_sampled_kernel",
+    "sampled_mttkrp",
+    "KRPProjection",
+    "PROJECTION_KINDS",
+    "krp_projection",
+    "sketch_krp",
+    "sketch_unfolding",
+    "sketched_mttkrp",
+    "SampledVsExact",
+    "crossover_sample_count",
+    "optimal_sample_grid",
+    "parallel_sampled_vs_bound",
+    "parallel_sampled_words",
+    "sampled_mttkrp_flops",
+    "sampled_mttkrp_words",
+    "sampled_vs_exact",
+    "sampling_setup_words",
+    "RandomizedCPALSResult",
+    "randomized_cp_als",
+]

@@ -1,0 +1,181 @@
+"""Khatri-Rao structured random projections (Saibaba, Verma & Ballard, 2025).
+
+A Khatri-Rao random projection compresses the long mode of an MTTKRP with a
+sketching matrix that is itself a Khatri-Rao product of small independent
+random blocks, ``Omega = (1/sqrt(m)) * KRP(omega_{N-1}, ..., omega_0)`` with
+``omega_k`` of shape ``(I_k, m)``.  Because of the structure, ``Omega`` never
+has to be formed:
+
+* applying it to the mode-``n`` unfolding, ``X_(n) @ Omega``, is *exactly an
+  MTTKRP with the random blocks as factors*, so the existing fast kernel
+  evaluates it (:func:`sketch_unfolding`);
+* applying it to the Khatri-Rao product of the factors,
+  ``Omega^T Z``, collapses to a Hadamard product of the small ``m x R``
+  matrices ``omega_k^T A_k`` (:func:`sketch_krp`) — no ``J``-sized object
+  appears anywhere.
+
+Both Gaussian and sign-flip (Rademacher) blocks are provided; the scaling
+``1/sqrt(m)`` makes ``E[Omega Omega^T] = I``, so the sketched MTTKRP
+``(X_(n) Omega)(Omega^T Z)^T``-style estimates are unbiased.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.kernels import mttkrp
+from repro.exceptions import ParameterError
+from repro.sketch.sampling import SeedLike, _as_generator
+from repro.tensor.dense import as_ndarray
+from repro.tensor.khatri_rao import khatri_rao
+from repro.utils.validation import check_mode, check_positive_int, check_shape
+
+#: Supported random block kinds.
+PROJECTION_KINDS = ("gaussian", "sign")
+
+
+@dataclass(frozen=True)
+class KRPProjection:
+    """A Khatri-Rao structured sketching matrix, stored by its per-mode blocks.
+
+    Attributes
+    ----------
+    modes:
+        Tensor modes the blocks correspond to, in increasing order.
+    blocks:
+        One random block per entry of ``modes``; block ``t`` has shape
+        ``(I_{modes[t]}, m)``.
+    sketch_size:
+        Embedding dimension ``m``.
+    kind:
+        ``"gaussian"`` or ``"sign"``.
+    """
+
+    modes: Tuple[int, ...]
+    blocks: Tuple[np.ndarray, ...]
+    sketch_size: int
+    kind: str
+
+    @property
+    def scale(self) -> float:
+        """Normalisation ``1/sqrt(m)`` making the embedding unbiased."""
+        return 1.0 / math.sqrt(self.sketch_size)
+
+    def materialize(self) -> np.ndarray:
+        """The explicit ``J x m`` sketching matrix (testing / small problems only).
+
+        Blocks are combined in *reverse* mode order so the row ordering
+        matches :func:`repro.tensor.khatri_rao.khatri_rao_excluding` and the
+        Kolda-Bader unfolding columns.
+        """
+        return self.scale * khatri_rao(list(self.blocks[::-1]))
+
+
+def krp_projection(
+    shape: Sequence[int],
+    mode: int,
+    sketch_size: int,
+    *,
+    kind: str = "gaussian",
+    seed: SeedLike = None,
+) -> KRPProjection:
+    """Draw a Khatri-Rao projection for the long mode of a mode-``mode`` MTTKRP.
+
+    Parameters
+    ----------
+    shape:
+        Tensor shape; one block is drawn for every mode except ``mode``.
+    mode:
+        The excluded (output) mode.
+    sketch_size:
+        Embedding dimension ``m``.
+    kind:
+        ``"gaussian"`` (i.i.d. standard normal entries) or ``"sign"``
+        (Rademacher ±1 entries).
+    seed:
+        Seed or generator for reproducibility.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    mode = check_mode(mode, len(shape))
+    sketch_size = check_positive_int(sketch_size, "sketch_size")
+    rng = _as_generator(seed)
+    modes = tuple(k for k in range(len(shape)) if k != mode)
+    blocks: List[np.ndarray] = []
+    for k in modes:
+        if kind == "gaussian":
+            blocks.append(rng.standard_normal((shape[k], sketch_size)))
+        elif kind == "sign":
+            blocks.append(rng.choice([-1.0, 1.0], size=(shape[k], sketch_size)))
+        else:
+            raise ParameterError(
+                f"unknown projection kind {kind!r}; use one of {PROJECTION_KINDS}"
+            )
+    return KRPProjection(
+        modes=modes, blocks=tuple(blocks), sketch_size=sketch_size, kind=kind
+    )
+
+
+def sketch_unfolding(projection: KRPProjection, tensor, mode: int) -> np.ndarray:
+    """``Y = X_(mode) @ Omega`` without forming ``Omega`` (an MTTKRP in disguise).
+
+    The contraction ``Y[i, c] = sum_j X_(mode)[i, j] * Omega[j, c]`` is the
+    MTTKRP of the tensor with the random blocks in place of factor matrices,
+    so it reuses the optimised einsum kernel.  Returns ``(I_mode, m)``.
+    """
+    pseudo_factors: List[Optional[np.ndarray]] = [None] * (len(projection.modes) + 1)
+    for t, k in enumerate(projection.modes):
+        pseudo_factors[k] = projection.blocks[t]
+    return projection.scale * mttkrp(tensor, pseudo_factors, mode)
+
+
+def sketch_krp(
+    projection: KRPProjection, factors: Sequence[Optional[np.ndarray]], mode: int
+) -> np.ndarray:
+    """``Omega^T Z`` as a Hadamard product of small matrices (``m x R``).
+
+    ``(Omega^T Z)[c, r] = prod_k (omega_k[:, c]^T A_k[:, r])`` — each factor
+    contributes only an ``m x R`` GEMM, so the sketched Khatri-Rao product
+    costs ``O(m R sum_k I_k)`` instead of ``O(J R)``.
+    """
+    mode = check_mode(mode, len(factors))
+    expected = tuple(k for k in range(len(factors)) if k != mode)
+    if expected != projection.modes:
+        raise ParameterError(
+            f"projection covers modes {projection.modes}, expected {expected}"
+        )
+    result: Optional[np.ndarray] = None
+    for t, k in enumerate(projection.modes):
+        small = projection.blocks[t].T @ np.asarray(factors[k])
+        result = small if result is None else result * small
+    return projection.scale * result
+
+
+def sketched_mttkrp(
+    tensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    sketch_size: int,
+    *,
+    kind: str = "gaussian",
+    seed: SeedLike = None,
+    projection: Optional[KRPProjection] = None,
+) -> np.ndarray:
+    """Projection-based randomized MTTKRP: ``B_hat = (X_(n) Omega)(Omega^T Z)^T``.
+
+    Unbiased because ``E[Omega Omega^T] = I``; the variance decays like
+    ``1/m``.  This is the projection-based counterpart of
+    :func:`repro.sketch.sampled_mttkrp.sampled_mttkrp` — it touches every
+    tensor entry once (inside the sketching MTTKRP) but shrinks the
+    Khatri-Rao side from ``J`` rows to ``m``, which is the regime analysed by
+    Saibaba et al.
+    """
+    if projection is None:
+        shape = as_ndarray(tensor).shape
+        projection = krp_projection(shape, mode, sketch_size, kind=kind, seed=seed)
+    sketched_tensor = sketch_unfolding(projection, tensor, mode)
+    sketched_factors = sketch_krp(projection, factors, mode)
+    return sketched_tensor @ sketched_factors

@@ -14,6 +14,7 @@ class TestRunExperiments:
             "tab-par-optimality",
             "tab-crossover",
             "tab-matmul-factors",
+            "sketch-crossover",
         }
 
     def test_quick_subset_report(self):
@@ -29,6 +30,13 @@ class TestRunExperiments:
     def test_figure4_section(self):
         report = run_experiments(["fig4-strong-scaling"], quick=True)
         assert "matmul words" in report
+
+    def test_sketch_crossover_section(self):
+        report = run_experiments(["sketch-crossover"], quick=True)
+        assert "sketch-crossover" in report
+        assert "distinct rows" in report
+        assert "rel error" in report
+        assert "leverage" in report
 
 
 class TestCLI:

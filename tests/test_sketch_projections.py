@@ -1,0 +1,117 @@
+"""Tests for Khatri-Rao structured random projections (repro.sketch.projections)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import mttkrp
+from repro.exceptions import ParameterError
+from repro.sketch.projections import (
+    krp_projection,
+    sketch_krp,
+    sketch_unfolding,
+    sketched_mttkrp,
+)
+from repro.tensor.khatri_rao import khatri_rao_excluding
+from repro.tensor.matricization import unfold
+from repro.tensor.random import random_factors, random_tensor
+
+SHAPE = (7, 6, 5)
+RANK = 3
+SKETCH = 16
+
+
+@pytest.fixture()
+def problem():
+    tensor = random_tensor(SHAPE, seed=0)
+    factors = random_factors(SHAPE, RANK, seed=1)
+    return tensor, factors
+
+
+class TestProjectionConstruction:
+    @pytest.mark.parametrize("kind", ["gaussian", "sign"])
+    def test_block_shapes(self, kind):
+        proj = krp_projection(SHAPE, 1, SKETCH, kind=kind, seed=0)
+        assert proj.modes == (0, 2)
+        assert proj.blocks[0].shape == (SHAPE[0], SKETCH)
+        assert proj.blocks[1].shape == (SHAPE[2], SKETCH)
+        assert proj.materialize().shape == (SHAPE[0] * SHAPE[2], SKETCH)
+
+    def test_sign_entries(self):
+        proj = krp_projection(SHAPE, 0, SKETCH, kind="sign", seed=2)
+        for block in proj.blocks:
+            assert set(np.unique(block)) <= {-1.0, 1.0}
+
+    def test_seeded_reproducibility(self):
+        a = krp_projection(SHAPE, 0, SKETCH, seed=3)
+        b = krp_projection(SHAPE, 0, SKETCH, seed=3)
+        for x, y in zip(a.blocks, b.blocks):
+            assert np.array_equal(x, y)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            krp_projection(SHAPE, 0, SKETCH, kind="fourier")
+
+    def test_scale(self):
+        proj = krp_projection(SHAPE, 0, 25, seed=4)
+        assert np.isclose(proj.scale, 0.2)
+
+
+class TestApplication:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_sketch_unfolding_matches_materialized(self, problem, mode):
+        tensor, _ = problem
+        proj = krp_projection(SHAPE, mode, SKETCH, seed=5)
+        direct = unfold(tensor.data, mode) @ proj.materialize()
+        assert np.allclose(sketch_unfolding(proj, tensor, mode), direct)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_sketch_krp_matches_materialized(self, problem, mode):
+        _, factors = problem
+        proj = krp_projection(SHAPE, mode, SKETCH, seed=6)
+        direct = proj.materialize().T @ khatri_rao_excluding(factors, mode)
+        assert np.allclose(sketch_krp(proj, factors, mode), direct)
+
+    def test_sketch_krp_mode_mismatch_rejected(self, problem):
+        _, factors = problem
+        proj = krp_projection(SHAPE, 0, SKETCH, seed=7)
+        with pytest.raises(ParameterError):
+            sketch_krp(proj, factors, 1)
+
+
+class TestSketchedMTTKRP:
+    def test_unbiased_in_expectation(self, problem):
+        tensor, factors = problem
+        exact = mttkrp(tensor, factors, 0)
+        rng = np.random.default_rng(8)
+        total = np.zeros_like(exact)
+        n_reps = 300
+        for _ in range(n_reps):
+            total += sketched_mttkrp(tensor, factors, 0, 16, seed=rng)
+        rel = np.linalg.norm(total / n_reps - exact) / np.linalg.norm(exact)
+        assert rel < 0.15
+
+    def test_error_decreases_with_sketch_size(self, problem):
+        tensor, factors = problem
+        exact = mttkrp(tensor, factors, 1)
+        norm = np.linalg.norm(exact)
+
+        def err(m, seed):
+            est = sketched_mttkrp(tensor, factors, 1, m, seed=seed)
+            return np.linalg.norm(est - exact) / norm
+
+        small = np.median([err(4, s) for s in range(5)])
+        large = np.median([err(256, s) for s in range(5)])
+        assert large < small
+
+    @pytest.mark.parametrize("kind", ["gaussian", "sign"])
+    def test_kinds_run(self, problem, kind):
+        tensor, factors = problem
+        est = sketched_mttkrp(tensor, factors, 2, 32, kind=kind, seed=9)
+        assert est.shape == (SHAPE[2], RANK)
+
+    def test_explicit_projection_reused(self, problem):
+        tensor, factors = problem
+        proj = krp_projection(SHAPE, 0, SKETCH, seed=10)
+        a = sketched_mttkrp(tensor, factors, 0, SKETCH, projection=proj)
+        b = sketched_mttkrp(tensor, factors, 0, SKETCH, projection=proj)
+        assert np.array_equal(a, b)

@@ -1,0 +1,96 @@
+"""Tests for the sketched CP-ALS driver (repro.sketch.randomized_als)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketch.randomized_als import randomized_cp_als
+from repro.sketch.sampled_mttkrp import default_sample_count
+from repro.tensor.random import random_low_rank_tensor
+
+SHAPE = (16, 14, 12)
+RANK = 3
+
+
+@pytest.fixture()
+def tensor():
+    return random_low_rank_tensor(SHAPE, RANK, seed=0)
+
+
+class TestRandomizedCPALS:
+    def test_recovers_low_rank_tensor(self, tensor):
+        result = randomized_cp_als(
+            tensor, RANK, n_samples=2000, seed=1, n_iter_max=40
+        )
+        assert result.exact_fit > 0.9
+        assert not result.used_fallback
+        assert result.fallback is None
+
+    def test_default_sample_count(self, tensor):
+        result = randomized_cp_als(tensor, RANK, seed=2, n_iter_max=5)
+        assert result.n_samples == default_sample_count(RANK)
+
+    def test_fallback_polishes_poor_sketched_run(self, tensor):
+        """Starved of samples, the sketched run misses min_fit and the exact
+        fallback takes over from the sketched factors."""
+        result = randomized_cp_als(
+            tensor,
+            RANK,
+            n_samples=4,
+            seed=3,
+            n_iter_max=5,
+            min_fit=0.99,
+            fallback_sweeps=30,
+        )
+        assert result.used_fallback
+        assert result.fallback is not None
+        sketched_fit = result.sketched.model.fit(tensor)
+        assert result.exact_fit >= sketched_fit
+        # Exact ALS on this tensor has basins at ~0.69 and 1.0; the polish must
+        # at least land in one of them, far above the starved sketched run.
+        assert result.exact_fit > 0.6
+
+    def test_no_fallback_without_threshold(self, tensor):
+        result = randomized_cp_als(
+            tensor, RANK, n_samples=4, seed=4, n_iter_max=3
+        )
+        assert not result.used_fallback
+
+    def test_totals_aggregate_sketched_and_fallback(self, tensor):
+        result = randomized_cp_als(
+            tensor,
+            RANK,
+            n_samples=4,
+            seed=5,
+            n_iter_max=3,
+            min_fit=1.1,  # unreachable: always falls back
+            fallback_sweeps=2,
+        )
+        assert result.used_fallback
+        assert (
+            result.n_iterations
+            == result.sketched.n_iterations + result.fallback.n_iterations
+        )
+        assert (
+            result.mttkrp_calls
+            == result.sketched.mttkrp_calls + result.fallback.mttkrp_calls
+        )
+
+    def test_seeded_reproducibility(self, tensor):
+        a = randomized_cp_als(tensor, RANK, n_samples=256, seed=6, n_iter_max=10)
+        b = randomized_cp_als(tensor, RANK, n_samples=256, seed=6, n_iter_max=10)
+        assert np.isclose(a.exact_fit, b.exact_fit)
+        for fa, fb in zip(a.model.factors, b.model.factors):
+            assert np.allclose(fa, fb)
+
+    def test_distribution_choices(self, tensor):
+        for distribution in ("uniform", "leverage", "product-leverage"):
+            result = randomized_cp_als(
+                tensor, RANK, n_samples=512, distribution=distribution, seed=7, n_iter_max=5
+            )
+            assert np.isfinite(result.exact_fit)
+            assert result.distribution == distribution
+
+    def test_unknown_distribution_rejected(self, tensor):
+        with pytest.raises(ParameterError):
+            randomized_cp_als(tensor, RANK, distribution="bogus")

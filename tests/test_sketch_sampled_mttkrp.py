@@ -1,0 +1,178 @@
+"""Tests for the sampled MTTKRP kernel (repro.sketch.sampled_mttkrp)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import mttkrp
+from repro.cp.als import cp_als
+from repro.exceptions import ParameterError
+from repro.experiments.sketch_crossover import coherent_problem
+from repro.sketch.sampled_mttkrp import (
+    default_sample_count,
+    make_sampled_kernel,
+    sampled_mttkrp,
+)
+from repro.sketch.sampling import draw_krp_samples
+from repro.tensor.khatri_rao import implicit_krp_column_count
+from repro.tensor.random import random_factors, random_low_rank_tensor, random_tensor
+from repro.tensor.sparse import SparseTensor
+
+SHAPE = (6, 5, 4)
+RANK = 3
+
+
+@pytest.fixture()
+def problem():
+    tensor = random_tensor(SHAPE, seed=0)
+    factors = random_factors(SHAPE, RANK, seed=1)
+    return tensor, factors
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("distribution", ["uniform", "leverage", "product-leverage"])
+    def test_unbiased_in_expectation(self, problem, distribution):
+        """Averaging many independent estimates converges on the exact MTTKRP."""
+        tensor, factors = problem
+        exact = mttkrp(tensor, factors, 0)
+        rng = np.random.default_rng(7)
+        total = np.zeros_like(exact)
+        n_reps = 400
+        for _ in range(n_reps):
+            total += sampled_mttkrp(
+                tensor, factors, 0, n_samples=32, distribution=distribution, seed=rng
+            )
+        mean = total / n_reps
+        rel = np.linalg.norm(mean - exact) / np.linalg.norm(exact)
+        assert rel < 0.1
+
+    def test_full_support_sampling_is_exact_in_the_limit(self, problem):
+        """With every row drawn many times the estimate concentrates tightly."""
+        tensor, factors = problem
+        exact = mttkrp(tensor, factors, 2)
+        est = sampled_mttkrp(
+            tensor, factors, 2, n_samples=200000, distribution="leverage", seed=0
+        )
+        rel = np.linalg.norm(est - exact) / np.linalg.norm(exact)
+        assert rel < 0.05
+
+    def test_acceptance_leverage_frontier(self):
+        """Acceptance criterion: <= 5% error at >= 10x fewer KRP rows.
+
+        Seeded coherent 50x60x70 rank-10 problem; exact leverage-score
+        sampling must reach relative Frobenius error <= 0.05 while
+        materializing at most a tenth of the J = 4200 Khatri-Rao rows.
+        """
+        tensor, factors = coherent_problem((50, 60, 70), 10, coherence=10.0, seed=1)
+        exact = mttkrp(tensor, factors, 0)
+        report = sampled_mttkrp(
+            tensor,
+            factors,
+            0,
+            n_samples=20000,
+            distribution="leverage",
+            seed=7,
+            return_report=True,
+        )
+        krp_rows = implicit_krp_column_count((50, 60, 70), 0)
+        assert report.distinct_rows * 10 <= krp_rows
+        rel = np.linalg.norm(report.result - exact) / np.linalg.norm(exact)
+        assert rel <= 0.05
+
+    def test_report_fields(self, problem):
+        tensor, factors = problem
+        report = sampled_mttkrp(
+            tensor, factors, 0, n_samples=64, seed=2, return_report=True
+        )
+        assert report.n_draws == 64
+        assert report.distinct_rows <= 64
+        assert report.krp_entries == report.distinct_rows * RANK
+        assert report.gemm_flops == 2 * SHAPE[0] * report.distinct_rows * RANK
+        assert report.result.shape == (SHAPE[0], RANK)
+
+    def test_default_sample_count_used(self, problem):
+        tensor, factors = problem
+        report = sampled_mttkrp(tensor, factors, 0, seed=3, return_report=True)
+        assert report.n_draws == default_sample_count(RANK)
+
+    def test_reuse_sample_set(self, problem):
+        tensor, factors = problem
+        samples = draw_krp_samples(factors, 1, 50, distribution="leverage", seed=4)
+        a = sampled_mttkrp(tensor, factors, 1, samples=samples)
+        b = sampled_mttkrp(tensor, factors, 1, samples=samples)
+        assert np.array_equal(a, b)
+
+    def test_mismatched_sample_set_rejected(self, problem):
+        tensor, factors = problem
+        samples = draw_krp_samples(factors, 1, 50, seed=5)
+        with pytest.raises(ParameterError):
+            sampled_mttkrp(tensor, factors, 0, samples=samples)
+
+    def test_missing_factors_rejected(self, problem):
+        tensor, _ = problem
+        with pytest.raises(ParameterError):
+            sampled_mttkrp(tensor, [None, None, None], 0, n_samples=8)
+
+
+class TestSparseInteraction:
+    def test_dense_sparse_agreement(self, problem):
+        tensor, factors = problem
+        sparse = SparseTensor.from_dense(tensor.data)
+        samples = draw_krp_samples(factors, 0, 100, distribution="leverage", seed=6)
+        dense_est = sampled_mttkrp(tensor, factors, 0, samples=samples)
+        sparse_est = sampled_mttkrp(sparse, factors, 0, samples=samples)
+        assert np.allclose(dense_est, sparse_est)
+
+    def test_duplicate_coordinates_are_summed(self, problem):
+        """Duplicate COO entries must contribute their sum, as in to_dense()."""
+        _, factors = problem
+        rng = np.random.default_rng(8)
+        coords = rng.integers(0, (6, 5, 4), size=(30, 3))
+        coords = np.vstack([coords, coords[:10]])  # duplicate the first ten
+        values = rng.standard_normal(coords.shape[0])
+        sparse = SparseTensor(shape=SHAPE, coords=coords, values=values)
+        samples = draw_krp_samples(factors, 1, 200, distribution="uniform", seed=9)
+        from_sparse = sampled_mttkrp(sparse, factors, 1, samples=samples)
+        from_dense = sampled_mttkrp(sparse.to_dense(), factors, 1, samples=samples)
+        assert np.allclose(from_sparse, from_dense)
+
+    def test_empty_sparse_tensor(self, problem):
+        _, factors = problem
+        empty = SparseTensor(
+            shape=SHAPE, coords=np.zeros((0, 3), dtype=np.int64), values=np.zeros(0)
+        )
+        result = sampled_mttkrp(empty, factors, 0, n_samples=16, seed=10)
+        assert result.shape == (SHAPE[0], RANK)
+        assert np.all(result == 0.0)
+
+
+class TestKernelIntegration:
+    def test_make_sampled_kernel_signature(self, problem):
+        tensor, factors = problem
+        kernel = make_sampled_kernel(128, seed=11)
+        result = kernel(tensor, factors, 0)
+        assert result.shape == (SHAPE[0], RANK)
+
+    def test_kernel_resamples_each_call(self, problem):
+        tensor, factors = problem
+        kernel = make_sampled_kernel(64, seed=12)
+        assert not np.array_equal(kernel(tensor, factors, 0), kernel(tensor, factors, 0))
+
+    def test_cp_als_accepts_sampled_kernel_name(self):
+        tensor = random_low_rank_tensor((12, 10, 8), 3, seed=13)
+        result = cp_als(tensor, 3, kernel="sampled", seed=13, n_iter_max=20)
+        assert result.mttkrp_calls > 0
+        # The sampled kernel drives a real fit improvement on a low-rank target.
+        assert result.model.fit(tensor) > 0.5
+
+    def test_unknown_kernel_message_lists_sampled(self):
+        with pytest.raises(ParameterError, match="sampled"):
+            cp_als(random_tensor((3, 3), seed=0), 2, kernel="gpu")
+
+    def test_cp_als_sampled_kernel_is_seeded(self):
+        """An explicit seed makes the whole sampled ALS run reproducible."""
+        tensor = random_low_rank_tensor((12, 10, 8), 3, seed=14)
+        a = cp_als(tensor, 3, kernel="sampled", seed=42, n_iter_max=8)
+        b = cp_als(tensor, 3, kernel="sampled", seed=42, n_iter_max=8)
+        for fa, fb in zip(a.model.factors, b.model.factors):
+            assert np.array_equal(fa, fb)
+        assert a.fits == b.fits
