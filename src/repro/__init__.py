@@ -44,7 +44,10 @@ from repro.cp import cp_als, parallel_cp_als
 from repro.sketch import (
     draw_krp_samples,
     krp_projection,
+    parallel_randomized_cp_als,
+    parallel_sampled_mttkrp,
     randomized_cp_als,
+    reconcile_sampled_mttkrp,
     sampled_mttkrp,
     sketched_mttkrp,
 )
@@ -73,5 +76,8 @@ __all__ = [
     "draw_krp_samples",
     "krp_projection",
     "randomized_cp_als",
+    "parallel_sampled_mttkrp",
+    "parallel_randomized_cp_als",
+    "reconcile_sampled_mttkrp",
     "__version__",
 ]

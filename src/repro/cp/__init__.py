@@ -11,13 +11,19 @@ provides the workload that motivates the paper:
 """
 
 from repro.cp.initialization import initialize_factors
-from repro.cp.als import cp_als, CPALSResult
-from repro.cp.parallel_als import parallel_cp_als, ParallelCPALSResult
+from repro.cp.als import cp_als, CPALSResult, KERNEL_NAMES
+from repro.cp.parallel_als import (
+    parallel_cp_als,
+    ParallelCPALSResult,
+    PARALLEL_KERNEL_NAMES,
+)
 
 __all__ = [
     "initialize_factors",
     "cp_als",
     "CPALSResult",
+    "KERNEL_NAMES",
     "parallel_cp_als",
     "ParallelCPALSResult",
+    "PARALLEL_KERNEL_NAMES",
 ]

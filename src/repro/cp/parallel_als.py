@@ -25,6 +25,13 @@ from repro.parallel.stationary import stationary_mttkrp
 from repro.tensor.dense import as_ndarray
 from repro.utils.validation import check_positive_int, check_rank
 
+#: MTTKRP kernels resolvable by :func:`parallel_cp_als`, mirroring the
+#: sequential registry (:data:`repro.cp.als.KERNEL_NAMES`): ``"exact"`` runs
+#: Algorithm 3/4, ``"sampled"`` the distributed sampled kernel of
+#: :mod:`repro.sketch.parallel` (imported lazily — that subsystem layers on
+#: this driver, so a module-level import would be circular).
+PARALLEL_KERNEL_NAMES = ("exact", "sampled")
+
 
 @dataclass
 class ParallelCPALSResult:
@@ -62,6 +69,9 @@ def parallel_cp_als(
     n_procs: int,
     *,
     algorithm: str = "stationary",
+    kernel: str = "exact",
+    n_samples: Optional[int] = None,
+    sample_distribution: str = "product-leverage",
     n_iter_max: int = 20,
     tol: float = 1e-7,
     seed: Union[None, int, np.random.Generator] = 0,
@@ -79,6 +89,15 @@ def parallel_cp_als(
         Number of simulated processors ``P``.
     algorithm:
         ``"stationary"`` (Algorithm 3) or ``"general"`` (Algorithm 4).
+    kernel:
+        ``"exact"`` (the selected algorithm) or ``"sampled"`` — the
+        distributed sampled MTTKRP of :mod:`repro.sketch.parallel`, resampled
+        on every invocation (requires ``algorithm="stationary"``; see
+        :func:`repro.sketch.parallel.parallel_randomized_cp_als` for the full
+        randomized driver with an exact-solve fallback).
+    n_samples, sample_distribution:
+        Draw count and sampling distribution for ``kernel="sampled"``
+        (defaults mirror the sequential registry entry).
     n_iter_max, tol, seed, init:
         Passed to the ALS driver.
 
@@ -91,6 +110,14 @@ def parallel_cp_als(
     n_procs = check_positive_int(n_procs, "n_procs")
     if algorithm not in ("stationary", "general"):
         raise ParameterError("algorithm must be 'stationary' or 'general'")
+    if kernel not in PARALLEL_KERNEL_NAMES:
+        raise ParameterError(
+            f"unknown parallel MTTKRP kernel {kernel!r}; use one of {PARALLEL_KERNEL_NAMES}"
+        )
+    if kernel == "sampled" and algorithm != "stationary":
+        raise ParameterError(
+            "kernel='sampled' runs on the stationary distribution; use algorithm='stationary'"
+        )
 
     machine = SimulatedMachine(n_procs)
     grids: List[Sequence[int]] = []
@@ -100,11 +127,38 @@ def parallel_cp_als(
         grid = choose_general_grid(data.shape, rank, n_procs)
     grids.append(grid)
 
+    sampled_mttkrp_parallel = None
+    sample_rng: Union[None, np.random.SeedSequence, np.random.Generator] = None
+    if kernel == "sampled":
+        from repro.sketch.parallel.sampled_mttkrp import parallel_sampled_mttkrp
+
+        sampled_mttkrp_parallel = parallel_sampled_mttkrp
+        if isinstance(seed, np.random.Generator):
+            sample_rng = seed
+        elif seed is None:
+            sample_rng = np.random.default_rng()
+        else:
+            # Mirror the sequential registry: spawn an independent stream so
+            # the kernel's draws are not the bit stream the initialisation
+            # consumes.
+            sample_rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
+
     words_per_iteration: List[int] = []
     words_before_sweep = {"value": 0, "mttkrps_in_sweep": 0}
 
     def counted_kernel(local_tensor, factors, mode):
-        if algorithm == "stationary":
+        if kernel == "sampled":
+            result = sampled_mttkrp_parallel(
+                local_tensor,
+                factors,
+                mode,
+                grid,
+                n_samples=n_samples,
+                distribution=sample_distribution,
+                seed=sample_rng,
+                machine=machine,
+            )
+        elif algorithm == "stationary":
             result = stationary_mttkrp(local_tensor, factors, mode, grid, machine=machine)
         else:
             result = general_mttkrp(local_tensor, factors, mode, grid, machine=machine)

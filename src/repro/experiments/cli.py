@@ -35,6 +35,10 @@ from repro.experiments.sketch_crossover import (
     format_sketch_crossover_table,
     sketch_crossover_rows,
 )
+from repro.experiments.sketch_parallel import (
+    format_sketch_parallel_table,
+    sketch_parallel_rows,
+)
 
 
 def _run_figure1(quick: bool) -> str:  # noqa: ARG001 - uniform signature
@@ -83,6 +87,20 @@ def _run_sketch_crossover(quick: bool) -> str:
     return format_sketch_crossover_table(rows)
 
 
+def _run_sketch_parallel(quick: bool) -> str:
+    if quick:
+        rows = sketch_parallel_rows(
+            shape=(8, 9, 10),
+            rank=4,
+            processor_counts=[2, 6],
+            draw_counts=[8, 32],
+            distribution="uniform",
+        )
+    else:
+        rows = sketch_parallel_rows()
+    return format_sketch_parallel_table(rows)
+
+
 #: Experiment id (DESIGN.md §4) -> harness.
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig1-projections": _run_figure1,
@@ -92,6 +110,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "tab-crossover": _run_crossover,
     "tab-matmul-factors": _run_matmul,
     "sketch-crossover": _run_sketch_crossover,
+    "sketch-parallel": _run_sketch_parallel,
 }
 
 

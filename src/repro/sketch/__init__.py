@@ -17,7 +17,11 @@ route around those bounds:
   parameterized by sample count and wired against the exact cost models and
   the paper's sequential/parallel lower bounds;
 * :mod:`repro.sketch.randomized_als` — sketched CP-ALS with per-iteration
-  resampling and an exact-solve fallback.
+  resampling and an exact-solve fallback;
+* :mod:`repro.sketch.parallel` — the distributed-memory subsystem: sampled
+  MTTKRP and randomized CP-ALS executed on the simulated machine of
+  :mod:`repro.parallel`, so sampled word counts are *measured* on per-rank
+  ledgers (and reconciled against this cost model) rather than modelled.
 
 Accuracy is a tunable resource here: every entry point exposes the sample
 count / sketch size that trades estimator variance against words moved.
@@ -58,6 +62,17 @@ from repro.sketch.costmodel import (
     sampling_setup_words,
 )
 from repro.sketch.randomized_als import RandomizedCPALSResult, randomized_cp_als
+from repro.sketch.parallel import (
+    ParallelRandomizedCPALSResult,
+    ParallelSampledMTTKRPResult,
+    ReconciledSampledRun,
+    SampleAssignment,
+    choose_sampled_grid,
+    parallel_randomized_cp_als,
+    parallel_sampled_mttkrp,
+    predicted_sampled_ledger,
+    reconcile_sampled_mttkrp,
+)
 
 __all__ = [
     "DISTRIBUTIONS",
@@ -88,4 +103,13 @@ __all__ = [
     "sampling_setup_words",
     "RandomizedCPALSResult",
     "randomized_cp_als",
+    "ParallelRandomizedCPALSResult",
+    "ParallelSampledMTTKRPResult",
+    "ReconciledSampledRun",
+    "SampleAssignment",
+    "choose_sampled_grid",
+    "parallel_randomized_cp_als",
+    "parallel_sampled_mttkrp",
+    "predicted_sampled_ledger",
+    "reconcile_sampled_mttkrp",
 ]

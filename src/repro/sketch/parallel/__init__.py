@@ -1,0 +1,60 @@
+"""Distributed-memory sampled MTTKRP and randomized CP-ALS, measured.
+
+PR 1's :mod:`repro.sketch` established the randomized route around the
+paper's communication lower bounds but only *modelled* the parallel savings;
+this subpackage executes the sampled kernels on the simulated
+distributed-memory machine of :mod:`repro.parallel`, so every sampled word is
+charged to a per-rank ledger instead of a formula:
+
+* :mod:`repro.sketch.parallel.distribution` — the sample-index layer: which
+  ranks own which drawn Khatri-Rao rows under the stationary grid/block
+  distribution, the COO-sparse scatter, and sampled-grid selection;
+* :mod:`repro.sketch.parallel.sampled_mttkrp` — the distributed sampled
+  MTTKRP (dense + COO sparse): bucket All-Gathers of only the *sampled*
+  factor-row blocks, local sampled GEMMs on owned fiber segments, and an
+  output Reduce-Scatter, with rank-consistent seeding that reproduces the
+  sequential kernel's draws bit for bit;
+* :mod:`repro.sketch.parallel.randomized_als` — distributed randomized
+  CP-ALS with per-iteration resampling and an Algorithm 3 exact-solve
+  fallback on the same ledger;
+* :mod:`repro.sketch.parallel.reconcile` — measured-vs-modelled
+  reconciliation: ledger word counts against the exact collective-replay
+  predictor, the closed-form sketch cost model, the measured exact
+  algorithm, and the paper's parallel lower bounds.
+"""
+
+from repro.sketch.parallel.distribution import (
+    SampleAssignment,
+    choose_sampled_grid,
+    distribute_sparse_stationary,
+    sampled_grid_cost,
+)
+from repro.sketch.parallel.sampled_mttkrp import (
+    ParallelSampledMTTKRPResult,
+    charge_sampling_setup,
+    parallel_sampled_mttkrp,
+)
+from repro.sketch.parallel.randomized_als import (
+    ParallelRandomizedCPALSResult,
+    parallel_randomized_cp_als,
+)
+from repro.sketch.parallel.reconcile import (
+    ReconciledSampledRun,
+    predicted_sampled_ledger,
+    reconcile_sampled_mttkrp,
+)
+
+__all__ = [
+    "SampleAssignment",
+    "choose_sampled_grid",
+    "distribute_sparse_stationary",
+    "sampled_grid_cost",
+    "ParallelSampledMTTKRPResult",
+    "charge_sampling_setup",
+    "parallel_sampled_mttkrp",
+    "ParallelRandomizedCPALSResult",
+    "parallel_randomized_cp_als",
+    "ReconciledSampledRun",
+    "predicted_sampled_ledger",
+    "reconcile_sampled_mttkrp",
+]

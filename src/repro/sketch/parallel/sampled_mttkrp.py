@@ -1,0 +1,422 @@
+"""Distributed-memory sampled MTTKRP on the simulated machine.
+
+The sequential sampled kernel (:mod:`repro.sketch.sampled_mttkrp`) *models*
+its communication; this module *measures* it.  The tensor and factor matrices
+are distributed exactly as in Algorithm 3 (stationary sub-tensors on an
+``N``-way grid, factor block rows chunked across hyperslices) and every word
+that moves is charged to a :class:`~repro.parallel.machine.SimulatedMachine`
+ledger:
+
+1. *sampling setup* (strategy dependent) — an All-Reduce of the small
+   ``R x R`` factor Gram matrices plus an All-Gather of the per-row leverage
+   scores (``"product-leverage"``), or a full factor All-Gather
+   (``"leverage"``, the documented non-scalable strategy); ``"uniform"``
+   needs no communication.  The draw itself is replicated with a shared seed
+   on every rank — rank-consistent seeding — so it is performed here by the
+   *same* :func:`~repro.sketch.sampling.draw_krp_samples` call the sequential
+   kernel makes, making the drawn :class:`SampleSet` bitwise identical to the
+   sequential kernel's under the same seed;
+2. *sampled factor-row All-Gathers* — within each mode-``k`` hyperslice, only
+   the distinct sampled rows of the block are gathered (bucket cost on the
+   sampled blocks), instead of Algorithm 3's full block rows;
+3. *local sampled MTTKRP* — each rank forms the Khatri-Rao rows of the
+   samples its sub-tensor owns, gathers the matching local fiber segments
+   (dense slab or COO nonzeros), and multiplies;
+4. *output Reduce-Scatter* — partial outputs are summed and redistributed
+   within each output-mode hyperslice, leaving the output distributed exactly
+   like Algorithm 3's.
+
+Every per-rank input of the local GEMM (sampled Khatri-Rao rows, estimator
+weights, fiber segments) is bitwise identical to the corresponding slice of
+the sequential kernel's operands; the only divergence channel is the
+floating-point summation order when a grid splits the sample space, which the
+tests bound at machine precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DistributionError, ParameterError
+from repro.parallel.collectives import all_gather, all_reduce, reduce_scatter
+from repro.parallel.distribution import (
+    DistributedMTTKRPOutput,
+    LocalFactorBlock,
+    StationaryDistribution,
+)
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.machine import SimulatedMachine
+from repro.sketch.parallel.distribution import (
+    SampleAssignment,
+    distribute_sparse_stationary,
+)
+from repro.sketch.sampled_mttkrp import (
+    _resolve_rank,
+    default_sample_count,
+    estimator_gemm,
+)
+from repro.sketch.sampling import SampleSet, SeedLike, draw_krp_samples
+from repro.tensor.dense import as_ndarray
+from repro.tensor.sparse import SparseTensor
+from repro.utils.validation import check_factor_matrices, check_mode
+
+#: Trace-label prefixes used to separate the ledger into phases.
+SETUP_LABEL = "sketch-setup"
+GATHER_LABEL = "sketch-gather"
+OUTPUT_LABEL = "sketch-output"
+
+
+@dataclass
+class ParallelSampledMTTKRPResult:
+    """Result of a simulated distributed sampled MTTKRP run.
+
+    Attributes
+    ----------
+    output:
+        The distributed estimate (reassemble with ``output.assemble()``);
+        distributed exactly like Algorithm 3's output.
+    machine:
+        The simulated machine holding the per-rank communication ledger.
+    samples:
+        The :class:`SampleSet` used (bitwise identical to a sequential draw
+        with the same seed).
+    distribution:
+        The :class:`StationaryDistribution` of tensor and factors.
+    assignment:
+        The :class:`SampleAssignment` mapping samples to owning ranks.
+    grid_dims:
+        Processor grid extents.
+    """
+
+    output: DistributedMTTKRPOutput
+    machine: SimulatedMachine
+    samples: SampleSet
+    distribution: StationaryDistribution
+    assignment: SampleAssignment
+    grid_dims: Tuple[int, ...]
+
+    @property
+    def max_words_communicated(self) -> int:
+        """Critical-path words (max over ranks of max(sent, received))."""
+        return self.machine.max_words_communicated
+
+    def assemble(self) -> np.ndarray:
+        """Assemble the global output estimate."""
+        return self.output.assemble()
+
+    def phase_words(self) -> Dict[str, int]:
+        """Per-rank-summed words charged by each phase (from the trace labels).
+
+        Returns a mapping ``phase -> words per participating rank summed over
+        that phase's collectives`` for the setup, sampled-gather, and output
+        phases (labels :data:`SETUP_LABEL`, :data:`GATHER_LABEL`,
+        :data:`OUTPUT_LABEL`).
+        """
+        totals = {SETUP_LABEL: 0, GATHER_LABEL: 0, OUTPUT_LABEL: 0}
+        for record in self.machine.records:
+            for phase in totals:
+                if record.label.startswith(phase):
+                    totals[phase] += record.words_per_rank
+        return totals
+
+
+def charge_sampling_setup(
+    machine: SimulatedMachine,
+    dist: StationaryDistribution,
+    factors: Sequence[Optional[np.ndarray]],
+    strategy: str,
+) -> None:
+    """Execute (and charge) the distribution-setup collectives for ``strategy``.
+
+    ``"uniform"`` needs nothing.  ``"product-leverage"`` All-Reduces each
+    input factor's ``R x R`` Gram matrix (every rank contributes the Gram of
+    its owned row chunk) and All-Gathers the per-row leverage scores each
+    rank computes locally against the reduced Gram — after which every rank
+    holds the full per-factor distributions and can replicate the draw.
+    ``"leverage"`` All-Gathers the full factor row chunks instead: the exact
+    joint Khatri-Rao leverage distribution needs every factor row, which is
+    why it is the non-scalable strategy (its setup words grow like
+    ``sum_k I_k R`` per rank regardless of the sample count).
+    """
+    if strategy == "uniform":
+        return
+    group = list(range(machine.n_procs))
+    for k in range(len(dist.shape)):
+        if k == dist.mode:
+            continue
+        factor = np.asarray(factors[k], dtype=np.float64)
+        local_rows = {r: dist.factor_local_rows(k, r) for r in group}
+        local_blocks = {r: factor[local_rows[r], :] for r in group}
+        if strategy == "leverage":
+            all_gather(
+                machine,
+                group,
+                local_blocks,
+                axis=0,
+                label=f"{SETUP_LABEL} factor A^({k})",
+            )
+            continue
+        if strategy != "product-leverage":
+            raise ParameterError(
+                f"unknown sampling distribution {strategy!r} for setup charging"
+            )
+        grams = {r: block.T @ block for r, block in local_blocks.items()}
+        reduced = all_reduce(
+            machine, group, grams, label=f"{SETUP_LABEL} gram A^({k})"
+        )
+        gram_pinv = np.linalg.pinv(reduced[group[0]])
+        scores = {
+            r: np.einsum("ir,rs,is->i", block, gram_pinv, block)
+            for r, block in local_blocks.items()
+        }
+        all_gather(
+            machine, group, scores, axis=0, label=f"{SETUP_LABEL} scores A^({k})"
+        )
+
+
+def _gather_local_fibers_dense(
+    block_data: np.ndarray,
+    ranges: Sequence[Tuple[int, int]],
+    mode: int,
+    samples: SampleSet,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Local fiber segments of the owned samples from a dense sub-tensor block."""
+    moved = np.moveaxis(block_data, mode, 0)
+    picker: List[np.ndarray] = []
+    for t, k in enumerate(samples.modes):
+        start = ranges[k][0]
+        picker.append(samples.indices[mask, t] - start)
+    return moved[(slice(None),) + tuple(picker)]
+
+
+def _gather_local_fibers_sparse(
+    local: SparseTensor,
+    ranges: Sequence[Tuple[int, int]],
+    mode: int,
+    samples: SampleSet,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Local fiber segments of the owned samples from a rank's COO share.
+
+    Duplicate coordinates accumulate in the rank-local nonzero order, which
+    (because :func:`distribute_sparse_stationary` preserves the global order)
+    matches the sequential kernel's accumulation order cell for cell.
+    """
+    start_n, stop_n = ranges[mode]
+    output = np.zeros((stop_n - start_n, int(np.count_nonzero(mask))))
+    if local.nnz == 0 or output.shape[1] == 0:
+        return output
+    nnz_keys = np.ravel_multi_index(
+        tuple(local.coords[:, k] for k in samples.modes), samples.dims, order="F"
+    )
+    sample_keys = samples.linear_rows()[mask]
+    positions = np.searchsorted(sample_keys, nnz_keys)
+    positions = np.clip(positions, 0, sample_keys.shape[0] - 1)
+    matched = sample_keys[positions] == nnz_keys
+    np.add.at(
+        output,
+        (local.coords[matched, mode] - start_n, positions[matched]),
+        local.values[matched],
+    )
+    return output
+
+
+def parallel_sampled_mttkrp(
+    tensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    grid_dims: Sequence[int],
+    *,
+    n_samples: Optional[int] = None,
+    distribution: str = "product-leverage",
+    seed: SeedLike = None,
+    samples: Optional[SampleSet] = None,
+    machine: Optional[SimulatedMachine] = None,
+    count_local_flops: bool = True,
+    charge_setup: bool = True,
+) -> ParallelSampledMTTKRPResult:
+    """Run the distributed sampled MTTKRP on a simulated machine.
+
+    Parameters
+    ----------
+    tensor:
+        Dense ``N``-way tensor (array-like / ``DenseTensor``) or a
+        :class:`~repro.tensor.sparse.SparseTensor`; held globally only to set
+        up the distribution, as in :func:`repro.parallel.stationary_mttkrp`.
+    factors:
+        One factor matrix per mode; entry for ``mode`` ignored.
+    mode:
+        Output mode ``n``.
+    grid_dims:
+        The ``N``-way processor grid (see
+        :func:`~repro.sketch.parallel.distribution.choose_sampled_grid`).
+    n_samples:
+        Number of draws (default
+        :func:`~repro.sketch.sampled_mttkrp.default_sample_count`).
+    distribution:
+        Sampling distribution (see :mod:`repro.sketch.sampling`).
+    seed:
+        Shared seed or generator for the replicated draw — the same value
+        given to the sequential kernel reproduces its draws bit for bit.
+    samples:
+        Pre-drawn :class:`SampleSet` (overrides ``n_samples`` /
+        ``distribution`` / ``seed``).
+    machine:
+        Optional pre-existing machine (must match the grid size).
+    count_local_flops:
+        Charge the local sampled-GEMM arithmetic to the per-rank counters.
+    charge_setup:
+        Execute (and charge) the distribution-setup collectives of
+        :func:`charge_sampling_setup`; disable to measure the kernel phase
+        alone against a reused draw.
+
+    Returns
+    -------
+    ParallelSampledMTTKRPResult
+    """
+    is_sparse = isinstance(tensor, SparseTensor)
+    if is_sparse:
+        shape, ndim = tensor.shape, tensor.ndim
+        data = None
+    else:
+        data = as_ndarray(tensor)
+        shape, ndim = data.shape, data.ndim
+    mode = check_mode(mode, ndim)
+    rank = _resolve_rank(factors, mode)
+    check_factor_matrices(factors, shape, rank, skip_mode=mode)
+
+    grid = ProcessorGrid(grid_dims)
+    if len(grid.dims) != ndim:
+        raise DistributionError(
+            f"grid must have one dimension per tensor mode: got {len(grid.dims)} "
+            f"grid dims for a {ndim}-way tensor"
+        )
+    if machine is None:
+        machine = SimulatedMachine(grid.n_procs)
+    elif machine.n_procs != grid.n_procs:
+        raise DistributionError(
+            f"machine has {machine.n_procs} processors but the grid needs {grid.n_procs}"
+        )
+
+    dist = StationaryDistribution(shape, rank, mode, grid)
+
+    # -- Phase 1: rank-consistent draw (replicated), setup collectives charged.
+    if samples is None:
+        n_draws = default_sample_count(rank) if n_samples is None else n_samples
+        samples = draw_krp_samples(
+            factors, mode, n_draws, distribution=distribution, seed=seed
+        )
+    elif samples.mode != mode or samples.dims != tuple(
+        shape[k] for k in range(ndim) if k != mode
+    ):
+        raise ParameterError(
+            "provided SampleSet does not match the tensor shape and mode"
+        )
+    assignment = SampleAssignment(dist, samples)
+    if charge_setup:
+        charge_sampling_setup(machine, dist, factors, samples.distribution)
+
+    # -- Scatter the tensor (one copy overall; never communicated afterwards).
+    if is_sparse:
+        sparse_blocks = distribute_sparse_stationary(dist, tensor)
+        dense_blocks = None
+    else:
+        dense_blocks = dist.distribute_tensor(data)
+        sparse_blocks = None
+
+    # -- Phase 2: All-Gather only the sampled factor rows within each hyperslice.
+    gathered: Dict[int, List[Optional[Tuple[np.ndarray, np.ndarray]]]] = {
+        r: [None] * ndim for r in range(grid.n_procs)
+    }
+    for k in range(ndim):
+        if k == mode:
+            continue
+        factor = np.asarray(factors[k], dtype=np.float64)
+        for pk in range(grid.dims[k]):
+            group = grid.slice_group({k: pk})
+            contributions = {
+                r: factor[assignment.rank_gather_contribution(k, r), :] for r in group
+            }
+            result = all_gather(
+                machine,
+                group,
+                contributions,
+                axis=0,
+                label=f"{GATHER_LABEL} A^({k}) rows p_{k}={pk}",
+            )
+            block_rows = assignment.sampled_rows_in_block(k, pk)
+            for r in group:
+                gathered[r][k] = (block_rows, result[r])
+
+    # -- Phase 3: local sampled MTTKRP on each rank's owned samples.
+    weights = samples.weights
+    local_outputs: Dict[int, np.ndarray] = {}
+    for r in range(grid.n_procs):
+        ranges = dist.subtensor_ranges(r)
+        mask = assignment.owned_mask(r)
+        krp: Optional[np.ndarray] = None
+        for t, k in enumerate(samples.modes):
+            block_rows, matrix = gathered[r][k]
+            positions = np.searchsorted(block_rows, samples.indices[mask, t])
+            rows = matrix[positions, :]
+            krp = rows.copy() if krp is None else krp * rows
+        if krp is None:  # pragma: no cover - unreachable, ndim >= 2 enforced
+            raise ParameterError("sampled MTTKRP requires at least two modes")
+        weighted = krp * weights[mask][:, None]
+        if is_sparse:
+            fibers = _gather_local_fibers_sparse(
+                sparse_blocks[r], ranges, mode, samples, mask
+            )
+            tensor_words = sparse_blocks[r].nnz * (ndim + 1)
+        else:
+            fibers = _gather_local_fibers_dense(
+                dense_blocks[r].data, ranges, mode, samples, mask
+            )
+            tensor_words = int(dense_blocks[r].data.size)
+        partial = np.ascontiguousarray(estimator_gemm(fibers, weighted))
+        local_outputs[r] = partial
+        owned = int(np.count_nonzero(mask))
+        if count_local_flops:
+            machine.charge_flops(
+                r,
+                (len(samples.modes) - 1) * owned * rank  # Khatri-Rao rows
+                + owned * rank  # estimator weighting
+                + 2 * partial.shape[0] * owned * rank,  # sampled GEMM
+            )
+        storage = tensor_words + int(weighted.size) + int(partial.size)
+        for entry in gathered[r]:
+            if entry is not None:
+                storage += int(entry[1].size)
+        machine.charge_storage(r, storage)
+
+    # -- Phase 4: Reduce-Scatter within each output-mode hyperslice.
+    output = DistributedMTTKRPOutput(shape=(shape[mode], rank))
+    for pn in range(grid.dims[mode]):
+        group = grid.slice_group({mode: pn})
+        contributions = {r: local_outputs[r] for r in group}
+        scattered = reduce_scatter(
+            machine,
+            group,
+            contributions,
+            axis=0,
+            label=f"{OUTPUT_LABEL} B p_{mode}={pn}",
+        )
+        for r in group:
+            output.pieces[r] = LocalFactorBlock(
+                rows=dist.factor_local_rows(mode, r),
+                cols=np.arange(rank),
+                data=scattered[r],
+            )
+
+    return ParallelSampledMTTKRPResult(
+        output=output,
+        machine=machine,
+        samples=samples,
+        distribution=dist,
+        assignment=assignment,
+        grid_dims=tuple(grid.dims),
+    )

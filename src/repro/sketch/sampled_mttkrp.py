@@ -80,6 +80,19 @@ def _resolve_rank(factors: Sequence[Optional[np.ndarray]], mode: int) -> int:
     raise ParameterError("at least one input factor matrix is required")
 
 
+def estimator_gemm(fibers: np.ndarray, weighted: np.ndarray) -> np.ndarray:
+    """The sampled-estimator product ``fibers @ weighted``, row-deterministically.
+
+    Evaluated with a fixed sum-of-products reduction (``np.einsum`` without
+    BLAS dispatch) so each output element depends only on its own fiber row:
+    a row-partitioned evaluation — exactly what the distributed kernel of
+    :mod:`repro.sketch.parallel` performs when only the output mode is split —
+    is bitwise identical to the full product, which BLAS (whose kernel choice
+    varies with the row count) does not guarantee.
+    """
+    return np.einsum("iu,ur->ir", fibers, weighted)
+
+
 def _gather_fibers_dense(data: np.ndarray, mode: int, samples: SampleSet) -> np.ndarray:
     """Columns of the mode-``mode`` unfolding at the sampled rows (``I_mode x U``)."""
     moved = np.moveaxis(data, mode, 0)
@@ -174,7 +187,7 @@ def sampled_mttkrp(
         fibers = _gather_fibers_sparse(tensor, mode, samples)
     else:
         fibers = _gather_fibers_dense(data, mode, samples)
-    result = np.ascontiguousarray(fibers @ weighted)
+    result = np.ascontiguousarray(estimator_gemm(fibers, weighted))
 
     if not return_report:
         return result

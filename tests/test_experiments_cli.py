@@ -15,6 +15,7 @@ class TestRunExperiments:
             "tab-crossover",
             "tab-matmul-factors",
             "sketch-crossover",
+            "sketch-parallel",
         }
 
     def test_quick_subset_report(self):
@@ -37,6 +38,14 @@ class TestRunExperiments:
         assert "distinct rows" in report
         assert "rel error" in report
         assert "leverage" in report
+
+    def test_sketch_parallel_section(self):
+        report = run_experiments(["sketch-parallel"], quick=True)
+        assert "sketch-parallel" in report
+        assert "measured words" in report
+        assert "predicted words" in report
+        assert "lower bound" in report
+        assert "beats exact" in report
 
 
 class TestCLI:
