@@ -31,6 +31,7 @@ from repro.experiments.sketch_crossover import (
 )
 from repro.sketch.randomized_als import randomized_cp_als
 from repro.sketch.sampled_mttkrp import sampled_mttkrp
+from repro.sketch.treesample import KRPTreeSampler
 from repro.tensor.khatri_rao import implicit_krp_column_count
 
 DRAW_COUNTS = [500, 2000, 20000]
@@ -65,6 +66,19 @@ def test_sampled_kernel_throughput(benchmark, problem, base_seed, n_draws):
         sampled_mttkrp, tensor, factors, 0, n_samples=n_draws, seed=rng
     )
     assert result.shape == (DEFAULT_SHAPE[0], factors[0].shape[1])
+
+
+@pytest.mark.parametrize("n_draws", DRAW_COUNTS)
+def test_tree_sampler_draw_throughput(benchmark, problem, base_seed, n_draws):
+    """Segment-tree exact leverage draws: O(R^2 log I) each, no KRP formed."""
+    _, factors = problem
+    sampler = KRPTreeSampler(factors, 0)
+
+    def run():
+        return sampler.draw_indices(n_draws, np.random.default_rng(base_seed + 6))
+
+    drawn = benchmark(run)
+    assert drawn.shape == (n_draws, len(DEFAULT_SHAPE) - 1)
 
 
 def test_randomized_als_throughput(benchmark, base_seed):
@@ -102,17 +116,22 @@ def test_sketch_frontier_json(base_seed):
     )
 
     # Acceptance: exact leverage-score sampling reaches <= 5% relative error
-    # while materializing >= 10x fewer KRP rows than the full product.
+    # while materializing >= 10x fewer KRP rows than the full product — both
+    # via the materialized score vector ("leverage") and via the tree sampler
+    # ("tree-leverage"), which draws from the same distribution without it.
     krp_rows = frontier["problem"]["krp_rows"]
     assert krp_rows == implicit_krp_column_count(DEFAULT_SHAPE, 0)
-    winners = [
-        row
-        for row in frontier["rows"]
-        if row["distribution"] == "leverage"
-        and row["rel_error"] <= 0.05
-        and row["distinct_rows"] * 10 <= krp_rows
-    ]
-    assert winners, "no leverage point met the <=5% error at >=10x fewer rows target"
+    for distribution in ("leverage", "tree-leverage"):
+        winners = [
+            row
+            for row in frontier["rows"]
+            if row["distribution"] == distribution
+            and row["rel_error"] <= 0.05
+            and row["distinct_rows"] * 10 <= krp_rows
+        ]
+        assert winners, (
+            f"no {distribution} point met the <=5% error at >=10x fewer rows target"
+        )
     recorded = json.loads(target.read_text(encoding="utf-8"))
     assert recorded["rows"]
     assert all(field not in row for row in recorded["rows"] for field in TIMING_FIELDS)

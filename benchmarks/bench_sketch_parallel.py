@@ -88,9 +88,14 @@ def test_parallel_randomized_als_simulation(benchmark, problem, base_seed):
     assert outcome.total_words > 0
 
 
-def test_sketch_parallel_frontier_json(base_seed):
+@pytest.fixture(scope="module")
+def frontier(base_seed):
+    """The measured frontier, computed once and shared by the record/acceptance tests."""
+    return sketch_parallel_frontier(seed=base_seed, sample_seed=base_seed + 6)
+
+
+def test_sketch_parallel_frontier_json(frontier):
     """Record the measured words / bound vs error vs P frontier as JSON."""
-    frontier = sketch_parallel_frontier(seed=base_seed, sample_seed=base_seed + 6)
     target = Path(
         os.environ.get(
             "SKETCH_PARALLEL_FRONTIER_JSON",
@@ -107,6 +112,31 @@ def test_sketch_parallel_frontier_json(base_seed):
     # bound word for word.
     assert all(row["measured_words"] == row["predicted_words"] for row in frontier["rows"])
     assert json.loads(target.read_text(encoding="utf-8"))["rows"]
+
+
+def test_tree_leverage_drops_setup_words(frontier):
+    """ISSUE 3 acceptance: the tree sampler's measured setup beats the score gather.
+
+    On every recorded ``(P, draws)`` point, the ``tree-leverage`` column's
+    measured setup words (Gram All-Reduce only) fall strictly below both the
+    ``leverage`` column's factor gather and the ``product-leverage`` column's
+    Gram All-Reduce + score gather, while every ledger still matches the
+    collective-replay predictor word for word.
+    """
+    by_point = {}
+    for row in frontier["rows"]:
+        by_point.setdefault((row["n_procs"], row["n_draws"]), {})[
+            row["distribution"]
+        ] = row
+    assert by_point, "frontier recorded no rows"
+    for (n_procs, _), columns in by_point.items():
+        tree = columns["tree-leverage"]
+        assert tree["measured_words"] == tree["predicted_words"]
+        assert tree["measured_setup_words"] < columns["leverage"]["measured_setup_words"]
+        assert (
+            tree["measured_setup_words"]
+            < columns["product-leverage"]["measured_setup_words"]
+        )
 
 
 def test_acceptance_toy_beats_exact(problem, base_seed):

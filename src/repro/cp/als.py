@@ -36,9 +36,9 @@ _KERNELS = {
     "matmul": lambda tensor, factors, mode: mttkrp_via_matmul(tensor, factors, mode),
 }
 
-#: Kernel names resolvable by :func:`cp_als` (``"sampled"`` is registered
-#: lazily — see :func:`_resolve_kernel`).
-KERNEL_NAMES = ("einsum", "matmul", "sampled")
+#: Kernel names resolvable by :func:`cp_als` (``"sampled"`` and
+#: ``"sampled-tree"`` are registered lazily — see :func:`_resolve_kernel`).
+KERNEL_NAMES = ("einsum", "matmul", "sampled", "sampled-tree")
 
 
 @dataclass
@@ -77,11 +77,14 @@ def _resolve_kernel(
 ) -> MTTKRPKernel:
     if callable(kernel):
         return kernel
-    if kernel == "sampled":
+    if kernel in ("sampled", "sampled-tree"):
         # Imported lazily: repro.sketch layers on this driver, so a module-level
         # import would be circular.  A fresh kernel is built per run so that an
         # explicit seed makes the whole ALS run reproducible; it resamples on
-        # every call from the product-of-factor-leverage distribution.
+        # every call — "sampled" from the product-of-factor-leverage
+        # distribution, "sampled-tree" from the exact Khatri-Rao leverage
+        # distribution via the segment-tree sampler (both never materialize a
+        # length-J vector).
         from repro.sketch.sampled_mttkrp import make_sampled_kernel
 
         if seed is None or isinstance(seed, np.random.Generator):
@@ -90,7 +93,8 @@ def _resolve_kernel(
             # Spawn an independent stream so the kernel's draws are not the
             # same bit stream the random initialisation consumes.
             kernel_seed = np.random.SeedSequence(seed).spawn(1)[0]
-        return make_sampled_kernel(seed=kernel_seed)
+        distribution = "tree-leverage" if kernel == "sampled-tree" else "product-leverage"
+        return make_sampled_kernel(seed=kernel_seed, distribution=distribution)
     if kernel in _KERNELS:
         return _KERNELS[kernel]
     raise ParameterError(

@@ -28,9 +28,12 @@ from repro.utils.validation import check_positive_int, check_rank
 #: MTTKRP kernels resolvable by :func:`parallel_cp_als`, mirroring the
 #: sequential registry (:data:`repro.cp.als.KERNEL_NAMES`): ``"exact"`` runs
 #: Algorithm 3/4, ``"sampled"`` the distributed sampled kernel of
-#: :mod:`repro.sketch.parallel` (imported lazily — that subsystem layers on
-#: this driver, so a module-level import would be circular).
-PARALLEL_KERNEL_NAMES = ("exact", "sampled")
+#: :mod:`repro.sketch.parallel` with a caller-chosen distribution, and
+#: ``"sampled-tree"`` the same kernel pinned to the segment-tree exact
+#: leverage sampler (``distribution="tree-leverage"``, Gram-All-Reduce-only
+#: setup).  The sketch subsystem is imported lazily — it layers on this
+#: driver, so a module-level import would be circular.
+PARALLEL_KERNEL_NAMES = ("exact", "sampled", "sampled-tree")
 
 
 @dataclass
@@ -90,14 +93,17 @@ def parallel_cp_als(
     algorithm:
         ``"stationary"`` (Algorithm 3) or ``"general"`` (Algorithm 4).
     kernel:
-        ``"exact"`` (the selected algorithm) or ``"sampled"`` — the
-        distributed sampled MTTKRP of :mod:`repro.sketch.parallel`, resampled
-        on every invocation (requires ``algorithm="stationary"``; see
+        ``"exact"`` (the selected algorithm), ``"sampled"``, or
+        ``"sampled-tree"`` — the distributed sampled MTTKRP of
+        :mod:`repro.sketch.parallel`, resampled on every invocation
+        (requires ``algorithm="stationary"``; ``"sampled-tree"`` pins
+        ``sample_distribution="tree-leverage"``; see
         :func:`repro.sketch.parallel.parallel_randomized_cp_als` for the full
         randomized driver with an exact-solve fallback).
     n_samples, sample_distribution:
-        Draw count and sampling distribution for ``kernel="sampled"``
-        (defaults mirror the sequential registry entry).
+        Draw count and sampling distribution for the sampled kernels
+        (defaults mirror the sequential registry entry;
+        ``sample_distribution`` is ignored by ``kernel="sampled-tree"``).
     n_iter_max, tol, seed, init:
         Passed to the ALS driver.
 
@@ -114,10 +120,13 @@ def parallel_cp_als(
         raise ParameterError(
             f"unknown parallel MTTKRP kernel {kernel!r}; use one of {PARALLEL_KERNEL_NAMES}"
         )
-    if kernel == "sampled" and algorithm != "stationary":
+    sampled = kernel in ("sampled", "sampled-tree")
+    if sampled and algorithm != "stationary":
         raise ParameterError(
-            "kernel='sampled' runs on the stationary distribution; use algorithm='stationary'"
+            f"kernel={kernel!r} runs on the stationary distribution; use algorithm='stationary'"
         )
+    if kernel == "sampled-tree":
+        sample_distribution = "tree-leverage"
 
     machine = SimulatedMachine(n_procs)
     grids: List[Sequence[int]] = []
@@ -129,7 +138,7 @@ def parallel_cp_als(
 
     sampled_mttkrp_parallel = None
     sample_rng: Union[None, np.random.SeedSequence, np.random.Generator] = None
-    if kernel == "sampled":
+    if sampled:
         from repro.sketch.parallel.sampled_mttkrp import parallel_sampled_mttkrp
 
         sampled_mttkrp_parallel = parallel_sampled_mttkrp
@@ -147,7 +156,7 @@ def parallel_cp_als(
     words_before_sweep = {"value": 0, "mttkrps_in_sweep": 0}
 
     def counted_kernel(local_tensor, factors, mode):
-        if kernel == "sampled":
+        if sampled:
             result = sampled_mttkrp_parallel(
                 local_tensor,
                 factors,

@@ -80,7 +80,7 @@ def _run_sketch_crossover(quick: bool) -> str:
             shape=(24, 24, 24),
             rank=4,
             draw_counts=[200, 1000],
-            distributions=("leverage", "product-leverage"),
+            distributions=("leverage", "product-leverage", "tree-leverage"),
         )
     else:
         rows = sketch_crossover_rows()
@@ -94,7 +94,7 @@ def _run_sketch_parallel(quick: bool) -> str:
             rank=4,
             processor_counts=[2, 6],
             draw_counts=[8, 32],
-            distribution="uniform",
+            distributions=("uniform", "tree-leverage"),
         )
     else:
         rows = sketch_parallel_rows()

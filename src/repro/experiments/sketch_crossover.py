@@ -42,6 +42,7 @@ DEFAULT_RANK = 10
 DEFAULT_MODE = 0
 DEFAULT_COHERENCE = 10.0
 DEFAULT_DRAW_COUNTS = (500, 2000, 5000, 20000)
+DEFAULT_DISTRIBUTIONS = ("uniform", "leverage", "product-leverage", "tree-leverage")
 
 
 @dataclass(frozen=True)
@@ -114,7 +115,7 @@ def sketch_crossover_rows(
     *,
     mode: int = DEFAULT_MODE,
     draw_counts: Sequence[int] = DEFAULT_DRAW_COUNTS,
-    distributions: Sequence[str] = ("uniform", "leverage", "product-leverage"),
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
     coherence: float = DEFAULT_COHERENCE,
     memory_words: int = 2**14,
     seed: int = 1,
@@ -206,7 +207,7 @@ def sketch_frontier(
     *,
     mode: int = DEFAULT_MODE,
     draw_counts: Sequence[int] = DEFAULT_DRAW_COUNTS,
-    distributions: Sequence[str] = ("uniform", "leverage", "product-leverage"),
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
     coherence: float = DEFAULT_COHERENCE,
     memory_words: int = 2**14,
     seed: int = 1,

@@ -3,8 +3,10 @@
 PR 1's ``sketch-crossover`` experiment measured the sampled kernel's
 *accuracy* frontier but could only *model* its communication; this harness
 runs the distributed sampled MTTKRP of :mod:`repro.sketch.parallel` on the
-simulated machine and reports, per processor count and draw count, the
-words the per-rank ledger actually recorded:
+simulated machine and reports, per processor count, draw count, and sampling
+strategy (the score-gather ``product-leverage`` setup, the factor-gather
+``leverage`` setup, and the Gram-All-Reduce-only ``tree-leverage`` sampler),
+the words the per-rank ledger actually recorded:
 
 * **measured** words (setup + kernel phases) and the exact collective-replay
   prediction they must equal;
@@ -41,6 +43,11 @@ DEFAULT_MODE = 0
 DEFAULT_COHERENCE = 10.0
 DEFAULT_PROCESSOR_COUNTS = (4, 8, 12)
 DEFAULT_DRAW_COUNTS = (8, 32, 128)
+#: Strategies swept per (P, draws) point: the three leverage-family setups —
+#: score-gather ("product-leverage"), full factor gather ("leverage"), and
+#: the Gram-All-Reduce-only tree sampler — so the setup-cost elimination is
+#: measured column against column.
+DEFAULT_DISTRIBUTIONS = ("product-leverage", "leverage", "tree-leverage")
 
 
 def sketch_parallel_rows(
@@ -50,16 +57,19 @@ def sketch_parallel_rows(
     mode: int = DEFAULT_MODE,
     processor_counts: Sequence[int] = DEFAULT_PROCESSOR_COUNTS,
     draw_counts: Sequence[int] = DEFAULT_DRAW_COUNTS,
-    distribution: str = "product-leverage",
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
     coherence: float = DEFAULT_COHERENCE,
     seed: int = 1,
     sample_seed: int = 7,
     charge_setup: bool = True,
 ) -> List[ReconciledSampledRun]:
-    """Reconcile the distributed sampled MTTKRP over a ``P`` x draws sweep.
+    """Reconcile the distributed sampled MTTKRP over a ``P`` x draws x strategy sweep.
 
-    Every point draws with ``seed = sample_seed + index`` (a fixed offset per
-    point) so the sweep is reproducible yet points are independent.
+    Every ``(P, draws)`` point draws with ``seed = sample_seed + index`` (a
+    fixed offset per point) so the sweep is reproducible yet points are
+    independent; the *same* point seed is reused across the swept
+    distributions, so per-point columns face comparable draws and their
+    setup-word columns differ only by strategy.
     """
     shape = check_shape(shape, min_ndim=2)
     rank = check_rank(rank)
@@ -69,19 +79,21 @@ def sketch_parallel_rows(
     index = 0
     for n_procs in processor_counts:
         for n_draws in draw_counts:
-            rows.append(
-                reconcile_sampled_mttkrp(
-                    tensor,
-                    factors,
-                    mode,
-                    int(n_procs),
-                    n_samples=int(n_draws),
-                    distribution=distribution,
-                    seed=sample_seed + index,
-                    charge_setup=charge_setup,
-                )
-            )
+            point_seed = sample_seed + index
             index += 1
+            for distribution in distributions:
+                rows.append(
+                    reconcile_sampled_mttkrp(
+                        tensor,
+                        factors,
+                        mode,
+                        int(n_procs),
+                        n_samples=int(n_draws),
+                        distribution=distribution,
+                        seed=point_seed,
+                        charge_setup=charge_setup,
+                    )
+                )
     return rows
 
 
@@ -95,6 +107,7 @@ def format_sketch_parallel_table(rows: Optional[List[ReconciledSampledRun]] = No
             [
                 row.n_procs,
                 "x".join(str(g) for g in row.grid),
+                row.distribution,
                 row.n_draws,
                 row.distinct_rows,
                 row.measured_words,
@@ -111,6 +124,7 @@ def format_sketch_parallel_table(rows: Optional[List[ReconciledSampledRun]] = No
         [
             "P",
             "grid",
+            "distribution",
             "draws",
             "distinct rows",
             "measured words",
@@ -137,7 +151,7 @@ def sketch_parallel_frontier(
     mode: int = DEFAULT_MODE,
     processor_counts: Sequence[int] = DEFAULT_PROCESSOR_COUNTS,
     draw_counts: Sequence[int] = DEFAULT_DRAW_COUNTS,
-    distribution: str = "product-leverage",
+    distributions: Sequence[str] = DEFAULT_DISTRIBUTIONS,
     coherence: float = DEFAULT_COHERENCE,
     seed: int = 1,
     sample_seed: int = 7,
@@ -155,7 +169,7 @@ def sketch_parallel_frontier(
         mode=mode,
         processor_counts=processor_counts,
         draw_counts=draw_counts,
-        distribution=distribution,
+        distributions=distributions,
         coherence=coherence,
         seed=seed,
         sample_seed=sample_seed,
@@ -167,7 +181,7 @@ def sketch_parallel_frontier(
             "rank": int(rank),
             "mode": int(mode),
             "coherence": float(coherence),
-            "distribution": distribution,
+            "distributions": list(distributions),
             "seed": int(seed),
             "sample_seed": int(sample_seed),
             "charge_setup": bool(charge_setup),

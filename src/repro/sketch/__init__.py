@@ -11,6 +11,11 @@ route around those bounds:
   materializes only the distinct drawn Khatri-Rao rows and matching tensor
   fibers (dense or COO sparse), plus a closure factory conforming to the
   CP-ALS ``MTTKRPKernel`` signature;
+* :mod:`repro.sketch.treesample` — the segment-tree exact Khatri-Rao
+  leverage sampler of Bharadwaj et al. (``distribution="tree-leverage"``):
+  exact leverage draws in ``O(R^2 log I_k)`` per draw without materializing
+  the Khatri-Rao product, dropping both the sequential "read every score"
+  setup and the distributed leverage-score gather;
 * :mod:`repro.sketch.projections` — Khatri-Rao structured random projections
   (Gaussian and sign-flip) per Saibaba, Verma & Ballard (2025);
 * :mod:`repro.sketch.costmodel` — flop/word costs of the sampled kernel,
@@ -50,16 +55,30 @@ from repro.sketch.projections import (
     sketch_unfolding,
     sketched_mttkrp,
 )
+from repro.sketch.treesample import (
+    TREE_DISTRIBUTION,
+    GramSegmentTree,
+    KRPTreeSampler,
+    draw_krp_samples_tree,
+    tree_joint_distribution,
+)
 from repro.sketch.costmodel import (
     SampledVsExact,
     crossover_sample_count,
+    exact_leverage_setup_words,
     optimal_sample_grid,
     parallel_sampled_vs_bound,
     parallel_sampled_words,
+    parallel_tree_setup_words,
     sampled_mttkrp_flops,
     sampled_mttkrp_words,
     sampled_vs_exact,
     sampling_setup_words,
+    tree_build_flops,
+    tree_crossover_sample_count,
+    tree_draw_flops,
+    tree_draw_words,
+    tree_sampling_setup_words,
 )
 from repro.sketch.randomized_als import RandomizedCPALSResult, randomized_cp_als
 from repro.sketch.parallel import (
@@ -92,15 +111,27 @@ __all__ = [
     "sketch_krp",
     "sketch_unfolding",
     "sketched_mttkrp",
+    "TREE_DISTRIBUTION",
+    "GramSegmentTree",
+    "KRPTreeSampler",
+    "draw_krp_samples_tree",
+    "tree_joint_distribution",
     "SampledVsExact",
     "crossover_sample_count",
+    "exact_leverage_setup_words",
     "optimal_sample_grid",
     "parallel_sampled_vs_bound",
     "parallel_sampled_words",
+    "parallel_tree_setup_words",
     "sampled_mttkrp_flops",
     "sampled_mttkrp_words",
     "sampled_vs_exact",
     "sampling_setup_words",
+    "tree_build_flops",
+    "tree_crossover_sample_count",
+    "tree_draw_flops",
+    "tree_draw_words",
+    "tree_sampling_setup_words",
     "RandomizedCPALSResult",
     "randomized_cp_als",
     "ParallelRandomizedCPALSResult",

@@ -25,6 +25,8 @@ from typing import Sequence
 from repro.bounds.parallel import combined_parallel_lower_bound
 from repro.bounds.sequential import sequential_lower_bound
 from repro.costmodel.sequential_model import blocked_cost_simplified
+from repro.sketch.treesample import tree_descent_levels
+from repro.utils.partition import max_part_size
 from repro.utils.validation import check_mode, check_positive_int, check_rank, check_shape
 
 
@@ -59,6 +61,156 @@ def sampling_setup_words(shape: Sequence[int], rank: int, mode: int) -> int:
     rank = check_rank(rank)
     mode = check_mode(mode, len(shape))
     return sum(int(dim) * rank for k, dim in enumerate(shape) if k != mode)
+
+
+# ---------------------------------------------------------------------------
+# tree-based exact leverage sampling (Bharadwaj et al., 2023)
+# ---------------------------------------------------------------------------
+
+#: Descent depth of the padded segment tree — shared with the sampler so the
+#: modelled node counts track the implementation's actual tree layout.
+_tree_levels = tree_descent_levels
+
+
+def exact_leverage_setup_words(shape: Sequence[int], rank: int, mode: int) -> int:
+    """Words of the "read every score" setup of ``distribution="leverage"``.
+
+    Drawing from the exact Khatri-Rao leverage distribution by materialization
+    streams the input factors (``sum_k I_k R``), writes and re-reads the full
+    ``J x R`` Khatri-Rao row block to score it, and keeps the length-``J``
+    score vector — the setup the tree sampler eliminates.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    krp_rows = 1
+    for k, dim in enumerate(shape):
+        if k != mode:
+            krp_rows *= int(dim)
+    factor_words = sum(int(dim) * rank for k, dim in enumerate(shape) if k != mode)
+    return factor_words + krp_rows * rank + krp_rows
+
+
+def tree_sampling_setup_words(shape: Sequence[int], rank: int, mode: int) -> int:
+    """One-time words to build the segment trees of ``"tree-leverage"``.
+
+    Each input factor is streamed once (``I_k R``) and its ``~2 I_k`` node
+    Grams of ``R^2`` words are written — everything is linear in the factor
+    extents, never in ``J``, which is the whole point of the tree: it
+    replaces the ``J``-linear "read every score" setup of
+    :func:`exact_leverage_setup_words` at exact-leverage sampling quality.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    return sum(
+        int(dim) * rank + 2 * int(dim) * rank * rank
+        for k, dim in enumerate(shape)
+        if k != mode
+    )
+
+
+def tree_build_flops(shape: Sequence[int], rank: int, mode: int) -> int:
+    """Arithmetic of the tree build: ``~2 I_k R^2`` per input factor.
+
+    ``I_k R^2`` multiplies for the leaf outer products plus ``~I_k R^2``
+    additions aggregating them up the tree.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    return sum(
+        2 * int(dim) * rank * rank for k, dim in enumerate(shape) if k != mode
+    )
+
+
+def tree_draw_flops(
+    shape: Sequence[int], rank: int, mode: int, n_draws: int
+) -> int:
+    """Arithmetic of ``S`` tree draws: ``O(R^2 log I_k)`` per draw per mode.
+
+    Each draw evaluates one node mass per descent level plus the root
+    (``2 R^2 + R`` flops each: the ``R x R`` Hadamard-and-contract quadratic
+    form) and updates the length-``R`` conditioning vector once per mode —
+    matching :meth:`repro.sketch.treesample.KRPTreeSampler.draw_flops`.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    n_draws = check_positive_int(n_draws, "n_draws")
+    per_node = 2 * rank * rank + rank
+    per_draw = sum(
+        (_tree_levels(dim) + 1) * per_node + rank
+        for k, dim in enumerate(shape)
+        if k != mode
+    )
+    return n_draws * per_draw
+
+
+def tree_draw_words(
+    shape: Sequence[int], rank: int, mode: int, n_draws: int
+) -> int:
+    """Words the descents read in the two-level model: one node Gram per level.
+
+    When the trees (``~2 sum_k I_k R^2`` words) exceed fast memory, each draw
+    reads ``ceil(log2 I_k)`` node Grams of ``R^2`` words per mode.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    n_draws = check_positive_int(n_draws, "n_draws")
+    per_draw = sum(
+        _tree_levels(dim) * rank * rank for k, dim in enumerate(shape) if k != mode
+    )
+    return n_draws * per_draw
+
+
+def tree_crossover_sample_count(
+    shape: Sequence[int],
+    rank: int,
+    mode: int,
+    memory_words: int,
+) -> float:
+    """Sample count where tree-leverage words match the exact blocked cost.
+
+    Solves ``W(S) + tree draw words(S) + tree setup = `` Eq. (13) for ``S``.
+    Unlike :func:`crossover_sample_count` with the "read every score" setup
+    (which subtracts a ``J``-linear constant and can hit zero), the tree
+    setup is factor-linear, so exact-leverage sampling keeps a usable
+    crossover window on exactly the large-``J`` problems the lower bounds
+    target.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    exact = blocked_cost_simplified(shape, rank, memory_words)
+    per_sample = (
+        int(shape[mode])
+        + (len(shape) - 1) * rank
+        + sum(_tree_levels(dim) * rank * rank for k, dim in enumerate(shape) if k != mode)
+    )
+    fixed = int(shape[mode]) * rank + tree_sampling_setup_words(shape, rank, mode)
+    return max((exact - fixed) / per_sample, 0.0)
+
+
+def parallel_tree_setup_words(
+    shape: Sequence[int], rank: int, mode: int, n_procs: int
+) -> int:
+    """Per-rank setup words of the distributed tree sampler.
+
+    One ``R x R`` Gram All-Reduce per input factor (bucket Reduce-Scatter +
+    All-Gather: ``2 (P - 1) ceil(R^2 / P)`` words per rank) and *nothing
+    else* — no leverage-score All-Gather (``"product-leverage"``) and no full
+    factor All-Gather (``"leverage"``), so the setup is independent of every
+    factor extent.  This is the closed-form the reconcile predictor charges
+    collective-for-collective.
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    mode = check_mode(mode, len(shape))
+    n_procs = check_positive_int(n_procs, "n_procs")
+    piece = max_part_size(rank * rank, n_procs)
+    return (len(shape) - 1) * 2 * (n_procs - 1) * piece
 
 
 def sampled_mttkrp_words(

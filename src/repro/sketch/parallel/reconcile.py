@@ -86,14 +86,16 @@ def predicted_sampled_ledger(
                 # full factor All-Gather: blocks of (chunk_rows x R)
                 w = max(chunk_rows) * rank
                 words[group] += (n_procs - 1) * w
-            else:  # product-leverage
+            else:  # product-leverage / tree-leverage
                 # Gram All-Reduce = Reduce-Scatter + All-Gather on R*R words
                 piece = max(
                     stop - start for start, stop in partition_bounds(rank * rank, n_procs)
                 )
                 words[group] += 2 * (n_procs - 1) * piece
-                # per-row leverage score All-Gather: 1-D chunks
-                words[group] += (n_procs - 1) * max(chunk_rows)
+                if samples.distribution != "tree-leverage":
+                    # per-row leverage score All-Gather: 1-D chunks (the
+                    # setup term the tree sampler eliminates)
+                    words[group] += (n_procs - 1) * max(chunk_rows)
 
     # sampled factor-row All-Gathers per hyperslice
     for k in range(ndim):

@@ -136,10 +136,23 @@ def charge_sampling_setup(
     its owned row chunk) and All-Gathers the per-row leverage scores each
     rank computes locally against the reduced Gram — after which every rank
     holds the full per-factor distributions and can replicate the draw.
-    ``"leverage"`` All-Gathers the full factor row chunks instead: the exact
-    joint Khatri-Rao leverage distribution needs every factor row, which is
-    why it is the non-scalable strategy (its setup words grow like
-    ``sum_k I_k R`` per rank regardless of the sample count).
+    ``"tree-leverage"`` charges the Gram All-Reduce *only*: the segment-tree
+    sampler (:mod:`repro.sketch.treesample`) needs the reduced Grams to form
+    its conditional weight matrices, and in the physically distributed
+    algorithm (Bharadwaj et al., 2023) each rank then owns only its row
+    block's subtree, with draws descending across ranks via small per-draw
+    messages — so no per-row leverage-score All-Gather exists and the
+    *setup* words are independent of every factor extent.  The simulation
+    replicates that descent under the shared seed instead of routing it, so
+    the per-draw cross-rank node messages of the real descent are **not
+    charged** (a known idealization, recorded as a ROADMAP follow-up; the
+    other strategies' replicated draws are realizable with zero extra
+    communication after their charged setup, this one is not).
+    ``"leverage"`` All-Gathers the full factor row chunks
+    instead: the exact joint Khatri-Rao leverage distribution, drawn by
+    materialization, needs every factor row, which is why it is the
+    non-scalable strategy (its setup words grow like ``sum_k I_k R`` per
+    rank regardless of the sample count).
     """
     if strategy == "uniform":
         return
@@ -159,7 +172,7 @@ def charge_sampling_setup(
                 label=f"{SETUP_LABEL} factor A^({k})",
             )
             continue
-        if strategy != "product-leverage":
+        if strategy not in ("product-leverage", "tree-leverage"):
             raise ParameterError(
                 f"unknown sampling distribution {strategy!r} for setup charging"
             )
@@ -167,6 +180,8 @@ def charge_sampling_setup(
         reduced = all_reduce(
             machine, group, grams, label=f"{SETUP_LABEL} gram A^({k})"
         )
+        if strategy == "tree-leverage":
+            continue
         gram_pinv = np.linalg.pinv(reduced[group[0]])
         scores = {
             r: np.einsum("ir,rs,is->i", block, gram_pinv, block)

@@ -16,7 +16,12 @@ sampled kernel draws from:
   the downstream kernel);
 * the **product-of-factor-leverage** approximation of Bharadwaj et al.: each
   mode's index is drawn independently from that factor matrix's own leverage
-  distribution, so no ``J``-length vector is ever formed.
+  distribution, so no ``J``-length vector is ever formed;
+* **tree-based exact leverage** sampling (:mod:`repro.sketch.treesample`):
+  the segment-tree sampler of Bharadwaj et al. draws from *exactly* the
+  leverage distribution in ``O(R^2 log I_k)`` per draw per mode, without
+  materializing the Khatri-Rao product or any length-``J`` vector — the best
+  of both strategies above.
 
 Draws are aggregated: a :class:`SampleSet` stores the *distinct* sampled rows
 with their multiplicities, because every downstream cost (rows of the
@@ -40,7 +45,7 @@ from repro.utils.validation import check_mode, check_positive_int
 SeedLike = Union[None, int, np.random.Generator]
 
 #: Names accepted by :func:`draw_krp_samples` and the sampled kernels.
-DISTRIBUTIONS = ("uniform", "leverage", "product-leverage")
+DISTRIBUTIONS = ("uniform", "leverage", "product-leverage", "tree-leverage")
 
 
 def _as_generator(seed: SeedLike) -> np.random.Generator:
@@ -50,16 +55,46 @@ def _as_generator(seed: SeedLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def check_leverage_matrix(matrix, name: str = "matrix") -> np.ndarray:
+    """Validate a matrix destined for leverage-score computation.
+
+    The shared degenerate-input policy of every leverage-family strategy
+    (``"leverage"``, ``"product-leverage"``, ``"tree-leverage"``): non-finite
+    entries and rank-deficient all-zero *columns* raise
+    :class:`ParameterError` instead of letting NaNs (or a raw ``LinAlgError``
+    from the SVD) leak into sampling weights — an all-zero column carries no
+    leverage information and callers should drop it rather than sample
+    against it.  Returns the validated float64 array.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ParameterError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if not np.all(np.isfinite(arr)):
+        raise ParameterError(f"{name} contains non-finite entries")
+    dead = np.flatnonzero(~np.any(arr != 0.0, axis=0))
+    if dead.size:
+        raise ParameterError(
+            f"{name} has all-zero column(s) {dead.tolist()}: the leverage "
+            "distribution is degenerate on rank-deficient all-zero columns; "
+            "drop the dead columns first"
+        )
+    return arr
+
+
 def leverage_scores(matrix: np.ndarray) -> np.ndarray:
     """Row leverage scores of a single matrix via the Gram pseudoinverse.
 
     ``l_i = a_i^T (A^T A)^+ a_i`` for each row ``a_i`` of ``A``.  The scores
     lie in ``[0, 1]`` and sum to ``rank(A)``; they measure how much each row
     influences the row space of ``A``.
+
+    Degenerate inputs fail loudly: non-finite entries and rank-deficient
+    all-zero *columns* raise :class:`ParameterError` instead of letting NaNs
+    (or a raw ``LinAlgError`` from the SVD) leak into downstream sampling
+    weights — an all-zero column carries no leverage information and callers
+    should drop it rather than sample against it.
     """
-    arr = np.asarray(matrix, dtype=np.float64)
-    if arr.ndim != 2:
-        raise ParameterError(f"leverage_scores requires a 2-D matrix, got ndim={arr.ndim}")
+    arr = check_leverage_matrix(matrix, "leverage_scores input")
     gram_pinv = np.linalg.pinv(arr.T @ arr)
     scores = np.einsum("ir,rs,is->i", arr, gram_pinv, arr)
     return np.clip(scores, 0.0, None)
@@ -122,6 +157,12 @@ def krp_row_distribution(
             if k != mode:
                 columns[k] = factor_leverage_distribution(np.asarray(f))[:, None]
         return khatri_rao_excluding(columns, mode).ravel()
+    if distribution == "tree-leverage":
+        # Same distribution as "leverage", evaluated through the Hadamard
+        # factor-Gram pseudoinverse the tree sampler descends with.
+        from repro.sketch.treesample import tree_joint_distribution
+
+        return tree_joint_distribution(factors, mode)
     raise ParameterError(
         f"unknown sampling distribution {distribution!r}; use one of {DISTRIBUTIONS}"
     )
@@ -216,9 +257,13 @@ def draw_krp_samples(
     n_draws:
         Number of draws with replacement.
     distribution:
-        ``"uniform"``, ``"leverage"`` (exact Khatri-Rao leverage scores), or
+        ``"uniform"``, ``"leverage"`` (exact Khatri-Rao leverage scores,
+        drawn against the materialized length-``J`` score vector),
         ``"product-leverage"`` (per-factor leverage scores, sampled
-        independently per mode — never materializes a length-``J`` vector).
+        independently per mode — never materializes a length-``J`` vector),
+        or ``"tree-leverage"`` (the segment-tree sampler of
+        :mod:`repro.sketch.treesample` — exact leverage draws that also
+        never materialize a length-``J`` vector).
     seed:
         Seed or generator for reproducibility.
     """
@@ -244,6 +289,11 @@ def draw_krp_samples(
         drawn = np.stack(
             [rng.choice(dim, size=n_draws, p=p) for dim, p in zip(dims, per_mode)], axis=1
         )
+    elif distribution == "tree-leverage":
+        from repro.sketch.treesample import KRPTreeSampler
+
+        tree_sampler = KRPTreeSampler(factors, mode)
+        drawn = tree_sampler.draw_indices(n_draws, rng)
     else:
         raise ParameterError(
             f"unknown sampling distribution {distribution!r}; use one of {DISTRIBUTIONS}"
@@ -257,6 +307,8 @@ def draw_krp_samples(
         probabilities = np.full(unique_keys.shape[0], 1.0 / total)
     elif distribution == "leverage":
         probabilities = joint[unique_keys]
+    elif distribution == "tree-leverage":
+        probabilities = tree_sampler.row_probabilities(indices)
     else:
         probabilities = np.ones(unique_keys.shape[0])
         for t, p in enumerate(per_mode):

@@ -12,7 +12,8 @@ from repro.core.matmul_baseline import mttkrp_via_matmul
 from repro.core.reference import mttkrp_reference
 from repro.sequential.blocked import blocked_io_cost, sequential_blocked_mttkrp
 from repro.costmodel.sequential_model import blocked_cost_upper_bound
-from repro.tensor.khatri_rao import khatri_rao
+from repro.sketch.sampling import DISTRIBUTIONS, draw_krp_samples, krp_row_distribution
+from repro.tensor.khatri_rao import khatri_rao, khatri_rao_excluding
 from repro.tensor.matricization import fold, unfold
 from repro.utils.partition import partition_bounds, partition_sizes
 
@@ -175,6 +176,65 @@ class TestLemmaProperties:
         points = rng.integers(0, 5, size=(n_points, n_modes + 1))
         count, bound = verify_hbl_inequality(points, n_modes)
         assert count <= bound + 1e-9
+
+
+# Sampling distribution invariants --------------------------------------------
+
+
+class TestSamplingDistributionProperties:
+    """Every registered sampling distribution obeys the SampleSet contract."""
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shape=st.lists(st.integers(min_value=2, max_value=5), min_size=2, max_size=3).map(tuple),
+        rank=st.integers(min_value=1, max_value=3),
+        distribution=st.sampled_from(DISTRIBUTIONS),
+        seed=seeds,
+    )
+    def test_joint_distribution_is_normalized(self, shape, rank, distribution, seed):
+        rng = np.random.default_rng(seed)
+        factors = [rng.standard_normal((d, rank)) for d in shape]
+        mode = seed % len(shape)
+        joint = krp_row_distribution(factors, mode, distribution)
+        krp_rows = int(np.prod([d for k, d in enumerate(shape) if k != mode]))
+        assert joint.shape == (krp_rows,)
+        assert np.all(joint >= 0.0)
+        assert np.isclose(joint.sum(), 1.0)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shape=st.lists(st.integers(min_value=2, max_value=5), min_size=2, max_size=3).map(tuple),
+        rank=st.integers(min_value=1, max_value=3),
+        n_draws=st.integers(min_value=1, max_value=60),
+        distribution=st.sampled_from(DISTRIBUTIONS),
+        seed=seeds,
+    )
+    def test_draws_are_deduplicated_in_range_and_consistent(
+        self, shape, rank, n_draws, distribution, seed
+    ):
+        rng = np.random.default_rng(seed)
+        factors = [rng.standard_normal((d, rank)) for d in shape]
+        mode = seed % len(shape)
+        samples = draw_krp_samples(
+            factors, mode, n_draws, distribution=distribution, seed=seed
+        )
+        # multiplicities account for every draw; distinct rows are distinct
+        assert int(samples.counts.sum()) == n_draws
+        assert np.all(samples.counts >= 1)
+        keys = samples.linear_rows()
+        assert len(np.unique(keys)) == samples.n_distinct
+        # per-mode indices lie inside the sampled extents
+        for t, dim in enumerate(samples.dims):
+            assert samples.indices[:, t].min() >= 0
+            assert samples.indices[:, t].max() < dim
+        # probabilities are a valid restriction of the joint distribution
+        joint = krp_row_distribution(factors, mode, distribution)
+        assert np.allclose(samples.probabilities, joint[keys], rtol=1e-8, atol=1e-12)
+        assert np.all(samples.probabilities > 0.0)
+        assert np.all(np.isfinite(samples.weights))
+        # materialized sampled rows agree with the rows of the full KRP
+        krp = khatri_rao_excluding(factors, mode)
+        assert np.allclose(samples.krp_rows(factors), krp[keys])
 
 
 # Sequential algorithm invariants ---------------------------------------------

@@ -29,7 +29,9 @@ def problem():
 
 
 class TestEstimator:
-    @pytest.mark.parametrize("distribution", ["uniform", "leverage", "product-leverage"])
+    @pytest.mark.parametrize(
+        "distribution", ["uniform", "leverage", "product-leverage", "tree-leverage"]
+    )
     def test_unbiased_in_expectation(self, problem, distribution):
         """Averaging many independent estimates converges on the exact MTTKRP."""
         tensor, factors = problem
