@@ -26,7 +26,13 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and comparison.
 """
 
-from repro.core import mttkrp, mttkrp_reference, mttkrp_via_matmul
+from repro.core import (
+    DimensionTree,
+    DimensionTreeKernel,
+    mttkrp,
+    mttkrp_reference,
+    mttkrp_via_matmul,
+)
 from repro.tensor import (
     DenseTensor,
     KruskalTensor,
@@ -58,6 +64,8 @@ __all__ = [
     "mttkrp",
     "mttkrp_reference",
     "mttkrp_via_matmul",
+    "DimensionTree",
+    "DimensionTreeKernel",
     "DenseTensor",
     "KruskalTensor",
     "khatri_rao",

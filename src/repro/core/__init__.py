@@ -10,6 +10,11 @@ Three single-node kernels are provided:
   baseline of Section III-B: explicit mode-n unfolding, explicit Khatri-Rao
   product, then a single GEMM.
 
+For CP-ALS workloads, :mod:`repro.core.dimtree` provides the sweep-aware
+dimension-tree engine (:class:`DimensionTreeKernel`, kernel ``"dimtree"``)
+that caches partial contractions across mode updates, and
+:mod:`repro.core.sweep_kernel` the kernel protocol the ALS drivers speak.
+
 The communication-counting variants (sequential Algorithms 1 & 2, parallel
 Algorithms 3 & 4) live in :mod:`repro.sequential` and :mod:`repro.parallel`.
 """
@@ -18,6 +23,20 @@ from repro.core.reference import mttkrp_reference
 from repro.core.kernels import mttkrp, local_mttkrp
 from repro.core.matmul_baseline import mttkrp_via_matmul
 from repro.core.multi_mode import multi_mode_mttkrp, MultiModeResult
+from repro.core.dimtree import (
+    DimensionTree,
+    DimensionTreeKernel,
+    SweepCost,
+    dimtree_sweep_cost,
+    split_chain,
+    split_half,
+)
+from repro.core.sweep_kernel import (
+    PerCallKernel,
+    SweepKernel,
+    as_sweep_kernel,
+    check_kernel_name,
+)
 
 __all__ = [
     "mttkrp_reference",
@@ -26,4 +45,14 @@ __all__ = [
     "mttkrp_via_matmul",
     "multi_mode_mttkrp",
     "MultiModeResult",
+    "DimensionTree",
+    "DimensionTreeKernel",
+    "SweepCost",
+    "dimtree_sweep_cost",
+    "split_chain",
+    "split_half",
+    "SweepKernel",
+    "PerCallKernel",
+    "as_sweep_kernel",
+    "check_kernel_name",
 ]

@@ -1,0 +1,447 @@
+"""Dimension-tree MTTKRP engine: cached partial contractions across ALS sweeps.
+
+:func:`repro.core.multi_mode.multi_mode_mttkrp` computes all ``N`` mode
+MTTKRPs of *fixed* factor matrices with a dimension tree, but inside CP-ALS
+the factors change between mode updates, so that kernel cannot be used as-is
+(Section VII of the paper leaves the scheduling as future work).  This module
+closes that gap: :class:`DimensionTree` keeps the tree's internal nodes —
+partial contractions of the tensor with the Khatri-Rao product of an excluded
+mode subset — *cached across calls*, invalidates exactly the nodes that
+depend on a factor matrix the driver has replaced, and serves every mode's
+MTTKRP from the deepest still-valid ancestor.
+
+Under the ALS update order (modes ``0, 1, ..., N-1``, each factor replaced
+right after its solve) the default half-split tree recomputes each internal
+node exactly once per sweep: the full tensor is contracted only at the two
+root children, so per-sweep MTTKRP flops and tensor reads drop from ``N``
+full contractions to ``2`` (plus lower-order subtree work) — the classic
+order-``N/2`` ALS speedup.
+
+Every contraction is *counted* as it executes (flops, words moved in a flat
+read-everything model, root-tensor reads), and
+:func:`dimtree_sweep_cost` replays the same caching schedule symbolically, so
+the modelled per-sweep cost equals the counted ledger exactly — the tests
+assert ``==``, not ``<=``.  Counting conventions (shared by executor and
+model):
+
+* contracting one mode of extent ``I_k`` out of a partial with uncontracted
+  extent product ``T`` costs ``2 T R`` flops (the GEMM/einsum multiply-add
+  count of the Eq. (17) association);
+* the same step moves ``T`` (or ``T R`` once the rank axis exists) words of
+  input partial, ``I_k R`` words of factor, and ``(T / I_k) R`` words of
+  output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.multi_mode import contract_mode_step
+from repro.core.sweep_kernel import SweepKernel
+from repro.exceptions import ParameterError
+from repro.tensor.dense import as_ndarray
+from repro.utils.validation import check_factor_matrices, check_mode, check_rank, check_shape
+
+#: A split rule: mode subset (sorted tuple) -> (left, right) non-empty partition.
+ModeSplit = Callable[[Tuple[int, ...]], Tuple[Sequence[int], Sequence[int]]]
+
+#: Sweeps the symbolic replay runs before reading off the steady-state cost
+#: (the cache-validity pattern is periodic with period one sweep from the
+#: second sweep on; two extra sweeps are simulated as margin).
+_STEADY_SWEEPS = 4
+
+
+def split_half(modes: Tuple[int, ...]) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Default split rule: first half / second half of the (sorted) mode set."""
+    half = len(modes) // 2
+    return modes[:half], modes[half:]
+
+
+def split_chain(modes: Tuple[int, ...]) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Comb split: peel the last mode off at every level.
+
+    The root-to-leaf path for mode ``m`` then contracts the complement modes
+    one at a time in descending order — with ``cache=False`` this is exactly
+    the contraction chain of ``N`` *independent* single-mode kernels, which
+    is the baseline the cost model and the benchmark frontier compare the
+    (cached, half-split) tree against.
+    """
+    return modes[:-1], modes[-1:]
+
+
+@dataclass(frozen=True)
+class SweepCost:
+    """Counted cost of dimension-tree work (one sweep, or a running total).
+
+    Attributes
+    ----------
+    contractions:
+        Single-mode contraction steps performed.
+    flops:
+        Multiply-add arithmetic, ``2 T R`` per step.
+    words:
+        Words moved in the flat model (partial in + factor + partial out).
+    root_reads:
+        Contraction steps whose input was the full tensor (each reads all
+        ``I`` tensor words; the tree's headline saving is ``2`` per sweep
+        versus ``N`` for independent kernels).
+    """
+
+    contractions: int = 0
+    flops: int = 0
+    words: int = 0
+    root_reads: int = 0
+
+    def __sub__(self, other: "SweepCost") -> "SweepCost":
+        return SweepCost(
+            contractions=self.contractions - other.contractions,
+            flops=self.flops - other.flops,
+            words=self.words - other.words,
+            root_reads=self.root_reads - other.root_reads,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON frontiers)."""
+        return {
+            "contractions": self.contractions,
+            "flops": self.flops,
+            "words": self.words,
+            "root_reads": self.root_reads,
+        }
+
+
+# ---------------------------------------------------------------------------
+# tree structure (shared by the executor and the symbolic cost replay)
+# ---------------------------------------------------------------------------
+
+def _checked_split(split: ModeSplit, modes: Tuple[int, ...]):
+    left, right = split(modes)
+    left = tuple(sorted(int(m) for m in left))
+    right = tuple(sorted(int(m) for m in right))
+    if not left or not right or set(left) & set(right) or set(left) | set(right) != set(modes):
+        raise ParameterError(
+            f"split rule must partition {modes} into two non-empty halves, "
+            f"got {left} / {right}"
+        )
+    return left, right
+
+
+def _build_parents(n_modes: int, split: ModeSplit) -> Dict[Tuple[int, ...], Tuple[int, ...]]:
+    """Map each non-root node (sorted mode tuple) to its parent node."""
+    parents: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+    def recurse(modes: Tuple[int, ...]) -> None:
+        if len(modes) == 1:
+            return
+        for child in _checked_split(split, modes):
+            parents[child] = modes
+            recurse(child)
+
+    recurse(tuple(range(n_modes)))
+    return parents
+
+
+def _step_cost(
+    uncontracted_dims: Sequence[int], extent: int, rank: int, has_rank: bool
+) -> Tuple[int, int]:
+    """(flops, words) of contracting one mode of ``extent`` out of a partial."""
+    total = 1
+    for dim in uncontracted_dims:
+        total *= int(dim)
+    flops = 2 * total * rank
+    in_words = total * (rank if has_rank else 1)
+    out_words = (total // int(extent)) * rank
+    words = in_words + int(extent) * rank + out_words
+    return flops, words
+
+
+# ---------------------------------------------------------------------------
+# the executable engine
+# ---------------------------------------------------------------------------
+
+class DimensionTree:
+    """Cached dimension-tree MTTKRP over one fixed tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Dense ``N``-way tensor (``N >= 2``); the tree is bound to it.
+    split:
+        Optional split rule (default :func:`split_half`).  Any rule that
+        partitions each node's mode set into two non-empty halves yields the
+        same MTTKRP values up to floating-point association — only the
+        reuse pattern (and hence the counted cost) changes.
+    cache:
+        When ``False``, no partial is ever stored: every call recomputes the
+        root-to-leaf contraction chain, which is exactly the per-mode
+        independent-kernel baseline under identical counting conventions.
+
+    Notes
+    -----
+    Staleness is detected by *array identity*: a factor matrix passed to
+    :meth:`mttkrp` that is not the same object as the one seen previously
+    invalidates every cached partial that consumed it.  Callers must
+    therefore replace factor matrices (as CP-ALS does) rather than mutate
+    them in place.
+    """
+
+    def __init__(self, tensor, *, split: Optional[ModeSplit] = None, cache: bool = True) -> None:
+        self._data = as_ndarray(tensor)
+        if self._data.ndim < 2:
+            raise ParameterError("DimensionTree requires a tensor with at least 2 modes")
+        self._n = self._data.ndim
+        self._split = split if split is not None else split_half
+        self._cache_enabled = bool(cache)
+        self._parents = _build_parents(self._n, self._split)
+        self._root_key = tuple(range(self._n))
+        self._factors: List[Optional[np.ndarray]] = [None] * self._n
+        self._versions = [0] * self._n
+        #: node key -> (data, modes, has_rank, complement-version snapshot)
+        self._cache: Dict[Tuple[int, ...], Tuple[np.ndarray, Tuple[int, ...], bool, Tuple[int, ...]]] = {}
+        self.contractions = 0
+        self.flops = 0
+        self.words = 0
+        self.root_reads = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def n_modes(self) -> int:
+        """Number of tensor modes ``N``."""
+        return self._n
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """The tensor the tree is bound to."""
+        return self._data
+
+    def counters(self) -> SweepCost:
+        """Running totals of the counted contraction work."""
+        return SweepCost(
+            contractions=self.contractions,
+            flops=self.flops,
+            words=self.words,
+            root_reads=self.root_reads,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the counters (the cache is left intact)."""
+        self.contractions = 0
+        self.flops = 0
+        self.words = 0
+        self.root_reads = 0
+
+    def cached_words(self) -> int:
+        """Words held by cached partials (the memory the tree trades for reuse)."""
+        return sum(int(entry[0].size) for entry in self._cache.values())
+
+    def update_factor(self, mode: int, factor: np.ndarray) -> None:
+        """Explicitly register a factor replacement (identity detection also works)."""
+        mode = check_mode(mode, self._n)
+        self._factors[mode] = None if factor is None else np.asarray(factor)
+        self._versions[mode] += 1
+
+    # -- the kernel ----------------------------------------------------------
+    def mttkrp(self, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.ndarray:
+        """MTTKRP for ``mode`` with the given factors, reusing valid partials."""
+        mode = check_mode(mode, self._n)
+        if len(factors) != self._n:
+            raise ParameterError(
+                f"expected {self._n} factor matrices, got {len(factors)}"
+            )
+        rank = None
+        for k, f in enumerate(factors):
+            if k == mode:
+                continue
+            if f is None:
+                raise ParameterError(f"factor matrix for mode {k} is required")
+            if rank is None:
+                rank = int(np.asarray(f).shape[1])
+        if rank is None:
+            raise ParameterError("at least one input factor matrix is required")
+        check_factor_matrices(factors, self._data.shape, rank, skip_mode=mode)
+        for k in range(self._n):
+            if k == mode:
+                continue
+            f = factors[k]
+            if f is not self._factors[k]:
+                self._factors[k] = f
+                self._versions[k] += 1
+        value, _, _ = self._value((mode,))
+        return np.ascontiguousarray(value).copy()
+
+    # -- internals -----------------------------------------------------------
+    def _value(self, key: Tuple[int, ...]):
+        if key == self._root_key:
+            return self._data, self._root_key, False
+        complement = [k for k in range(self._n) if k not in key]
+        versions = tuple(self._versions[k] for k in complement)
+        entry = self._cache.get(key)
+        if entry is not None and entry[3] == versions:
+            return entry[0], entry[1], entry[2]
+        parent_key = self._parents[key]
+        data, modes_tuple, has_rank = self._value(parent_key)
+        modes = list(modes_tuple)
+        for k in sorted(set(parent_key) - set(key), reverse=True):
+            data, modes, has_rank = self._contract_one(data, modes, has_rank, k)
+        result = (data, tuple(modes), has_rank, versions)
+        if self._cache_enabled:
+            self._cache[key] = result
+        return data, tuple(modes), has_rank
+
+    def _contract_one(self, data: np.ndarray, modes: List[int], has_rank: bool, k: int):
+        axis = modes.index(k)
+        factor = np.asarray(self._factors[k])
+        rank = int(factor.shape[1])
+        dims = [data.shape[i] for i in range(len(modes))]
+        flops, words = _step_cost(dims, data.shape[axis], rank, has_rank)
+        if data is self._data:
+            self.root_reads += 1
+        out = contract_mode_step(data, axis, factor, has_rank)
+        self.contractions += 1
+        self.flops += flops
+        self.words += words
+        modes = modes[:axis] + modes[axis + 1 :]
+        return out, modes, True
+
+
+# ---------------------------------------------------------------------------
+# symbolic replay: the exact cost model of one ALS sweep
+# ---------------------------------------------------------------------------
+
+def dimtree_sweep_cost(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    split: Optional[ModeSplit] = None,
+    cache: bool = True,
+    first_sweep: bool = False,
+) -> SweepCost:
+    """Counted cost of one ALS sweep of the dimension-tree engine, replayed.
+
+    Replays the caching/invalidation schedule of :class:`DimensionTree` under
+    the ALS update order (mode ``0..N-1``, factor replaced after each solve)
+    *symbolically* — same tree, same lazy recomputation, same per-step cost
+    formulas — so the result equals the engine's counted ledger exactly.
+
+    Parameters
+    ----------
+    shape, rank:
+        Problem dimensions.
+    split:
+        Tree split rule (default :func:`split_half`).
+    cache:
+        ``False`` replays the cache-disabled engine: ``N`` independent
+        root-to-leaf chains, the per-mode-kernel baseline.
+    first_sweep:
+        Return the cold-cache first sweep instead of the steady state (they
+        coincide for the default half split; an adversarial split can make
+        the first sweep cheaper because late-sweep invalidations have not
+        happened yet).
+    """
+    shape = check_shape(shape, min_ndim=2)
+    rank = check_rank(rank)
+    n_modes = len(shape)
+    split = split if split is not None else split_half
+    parents = _build_parents(n_modes, split)
+    root_key = tuple(range(n_modes))
+
+    versions = [0] * n_modes
+    cached: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+    cost = {"contractions": 0, "flops": 0, "words": 0, "root_reads": 0}
+
+    def node_cost(key: Tuple[int, ...]) -> None:
+        """Ensure ``key`` is valid, charging any recomputation (recursive)."""
+        if key == root_key:
+            return
+        complement = [k for k in range(n_modes) if k not in key]
+        snapshot = tuple(versions[k] for k in complement)
+        if cached.get(key) == snapshot:
+            return
+        parent_key = parents[key]
+        node_cost(parent_key)
+        dims = [shape[k] for k in parent_key]
+        modes = list(parent_key)
+        has_rank = parent_key != root_key
+        for k in sorted(set(parent_key) - set(key), reverse=True):
+            axis = modes.index(k)
+            flops, words = _step_cost(dims, dims[axis], rank, has_rank)
+            cost["contractions"] += 1
+            cost["flops"] += flops
+            cost["words"] += words
+            if not has_rank:
+                cost["root_reads"] += 1
+            has_rank = True
+            dims.pop(axis)
+            modes.pop(axis)
+        if cache:
+            cached[key] = snapshot
+
+    n_sweeps = 1 if first_sweep else _STEADY_SWEEPS
+    for sweep in range(n_sweeps):
+        if sweep == n_sweeps - 1:
+            cost = {"contractions": 0, "flops": 0, "words": 0, "root_reads": 0}
+        for mode in range(n_modes):
+            node_cost((mode,))
+            versions[mode] += 1
+    return SweepCost(**cost)
+
+
+# ---------------------------------------------------------------------------
+# the sweep-aware kernel
+# ---------------------------------------------------------------------------
+
+class DimensionTreeKernel(SweepKernel):
+    """Sweep-aware MTTKRP kernel backed by a :class:`DimensionTree`.
+
+    Registered in :data:`repro.cp.als.KERNEL_NAMES` as ``"dimtree"``.  The
+    tree is built lazily on the first call and rebuilt if a different tensor
+    object is passed (one kernel instance serves one ALS run at a time).
+    Factor staleness is detected by array identity, so the kernel is correct
+    even under a driver that never calls :meth:`factor_updated`.
+
+    With ``cache=False`` the kernel degenerates to ``N`` independent
+    per-mode contraction chains with identical counting — the measured
+    baseline the benchmarks compare the tree against.
+    """
+
+    def __init__(self, *, split: Optional[ModeSplit] = None, cache: bool = True) -> None:
+        self._split = split
+        self._cache = bool(cache)
+        self.tree: Optional[DimensionTree] = None
+        self._sweep_marks: List[SweepCost] = []
+
+    def begin_sweep(self, iteration: int) -> None:
+        self._sweep_marks.append(
+            self.tree.counters() if self.tree is not None else SweepCost()
+        )
+
+    def factor_updated(self, mode: int, factor: np.ndarray) -> None:
+        if self.tree is not None:
+            self.tree.update_factor(mode, factor)
+
+    def mttkrp(
+        self, tensor, factors: Sequence[Optional[np.ndarray]], mode: int
+    ) -> np.ndarray:
+        data = as_ndarray(tensor)
+        if self.tree is None or self.tree.tensor is not data:
+            self.tree = DimensionTree(data, split=self._split, cache=self._cache)
+            # A rebuild starts a fresh counter stream: marks taken against the
+            # previous tree's totals would otherwise make per-sweep deltas
+            # negative.  Re-open the sweep the driver already announced at
+            # zero; earlier runs' sweeps are dropped.
+            self._sweep_marks = [SweepCost()] if self._sweep_marks else []
+        return self.tree.mttkrp(factors, mode)
+
+    def counters(self) -> SweepCost:
+        """Running totals over every sweep served so far."""
+        return self.tree.counters() if self.tree is not None else SweepCost()
+
+    def per_sweep_costs(self) -> List[SweepCost]:
+        """Counted cost of each completed sweep (driver must call the hooks)."""
+        if not self._sweep_marks:
+            return []
+        marks = self._sweep_marks + [self.counters()]
+        return [later - earlier for earlier, later in zip(marks, marks[1:])]

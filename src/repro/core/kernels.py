@@ -29,6 +29,26 @@ _RANK_LETTER = "z"
 #: Maximum number of tensor modes supported by the einsum-based kernel.
 MAX_MODES = len(string.ascii_lowercase) - 1
 
+#: Memoized einsum contraction paths keyed on ``(shape, mode, rank)``.  The
+#: greedy path search of ``optimize=True`` is pure Python and, inside ALS hot
+#: loops, was re-run on every MTTKRP call even though the operand shapes
+#: repeat identically sweep after sweep; the cache makes the search a
+#: once-per-problem cost.  Bounded to keep long multi-problem processes from
+#: accumulating paths without limit.
+_PATH_CACHE: dict = {}
+_PATH_CACHE_MAX_ENTRIES = 512
+
+
+def _contraction_path(key, spec: str, operands) -> list:
+    """The cached einsum path for ``spec`` over ``operands`` (see ``_PATH_CACHE``)."""
+    path = _PATH_CACHE.get(key)
+    if path is None:
+        path = np.einsum_path(spec, *operands, optimize=True)[0]
+        if len(_PATH_CACHE) >= _PATH_CACHE_MAX_ENTRIES:
+            _PATH_CACHE.clear()
+        _PATH_CACHE[key] = path
+    return path
+
 
 def _infer_rank(factors: Sequence[Optional[np.ndarray]], mode: int) -> int:
     """Rank deduced from the first available input factor matrix."""
@@ -85,7 +105,8 @@ def mttkrp(tensor, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.nda
             continue
         operands.append(np.asarray(factors[k]))
     spec = _einsum_spec(data.ndim, mode)
-    result = np.einsum(spec, *operands, optimize=True)
+    path = _contraction_path((tuple(data.shape), mode, rank), spec, operands)
+    result = np.einsum(spec, *operands, optimize=path)
     return np.ascontiguousarray(result)
 
 

@@ -28,11 +28,37 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.kernels import _contraction_path
 from repro.exceptions import ParameterError
 from repro.tensor.dense import as_ndarray
 from repro.utils.validation import check_factor_matrices, check_mode
 
 _RANK_LETTER = "z"
+
+
+def contract_mode_step(
+    data: np.ndarray, axis: int, factor: np.ndarray, has_rank: bool
+) -> np.ndarray:
+    """Contract one mode axis of a partial tensor against a factor matrix.
+
+    The single-step primitive shared by the fixed-factor dimension tree below
+    and the caching ALS engine of :mod:`repro.core.dimtree`: the first
+    contraction of a chain introduces the trailing rank axis via
+    ``tensordot``; every later one sums over the mode axis while multiplying
+    element-wise along the rank axis, as a two-operand einsum whose
+    contraction path is memoized (the operand shapes repeat identically
+    sweep after sweep inside ALS).
+    """
+    if not has_rank:
+        return np.tensordot(data, factor, axes=([axis], [0]))
+    letters = list(string.ascii_lowercase[: data.ndim - 1])
+    input_sub = "".join(letters) + _RANK_LETTER
+    output_sub = "".join(letters[:axis] + letters[axis + 1 :]) + _RANK_LETTER
+    spec = f"{input_sub},{letters[axis]}{_RANK_LETTER}->{output_sub}"
+    path = _contraction_path(
+        ("contract-step", tuple(data.shape), axis), spec, (data, factor)
+    )
+    return np.einsum(spec, data, factor, optimize=path)
 
 
 @dataclass
@@ -70,16 +96,8 @@ def _contract_away(
     has_rank = partial.has_rank
     for k in sorted(remove, reverse=True):
         axis = modes.index(k)
-        factor = np.asarray(factors[k])
-        if not has_rank:
-            data = np.tensordot(data, factor, axes=([axis], [0]))
-            has_rank = True
-        else:
-            letters = list(string.ascii_lowercase[: data.ndim - 1])
-            input_sub = "".join(letters) + _RANK_LETTER
-            output_sub = "".join(letters[:axis] + letters[axis + 1 :]) + _RANK_LETTER
-            spec = f"{input_sub},{letters[axis]}{_RANK_LETTER}->{output_sub}"
-            data = np.einsum(spec, data, factor, optimize=True)
+        data = contract_mode_step(data, axis, np.asarray(factors[k]), has_rank)
+        has_rank = True
         modes.pop(axis)
     return _PartialTensor(data=data, modes=modes, has_rank=has_rank)
 

@@ -30,6 +30,15 @@ from repro.costmodel.strong_scaling import (
     strong_scaling_series,
     StrongScalingPoint,
 )
+from repro.costmodel.dimtree_model import (
+    dimtree_sweep_flops,
+    dimtree_sweep_words,
+    independent_sweep_flops,
+    independent_sweep_words,
+    dimtree_sweep_speedup,
+    dimtree_crossover_rank,
+    dimtree_vs_independent,
+)
 
 __all__ = [
     "unblocked_cost",
@@ -48,4 +57,11 @@ __all__ = [
     "matmul_regime",
     "strong_scaling_series",
     "StrongScalingPoint",
+    "dimtree_sweep_flops",
+    "dimtree_sweep_words",
+    "independent_sweep_flops",
+    "independent_sweep_words",
+    "dimtree_sweep_speedup",
+    "dimtree_crossover_rank",
+    "dimtree_vs_independent",
 ]

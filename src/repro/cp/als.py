@@ -19,12 +19,18 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.dimtree import DimensionTreeKernel
 from repro.core.kernels import mttkrp
 from repro.core.matmul_baseline import mttkrp_via_matmul
+from repro.core.sweep_kernel import (
+    PerCallKernel,
+    SweepKernel,
+    as_sweep_kernel,
+    check_kernel_name,
+)
 from repro.cp.initialization import initialize_factors
 from repro.exceptions import ConvergenceWarning, ParameterError
 from repro.tensor.dense import as_ndarray
-from repro.tensor.khatri_rao import hadamard_all
 from repro.tensor.kruskal import KruskalTensor
 from repro.utils.validation import check_rank
 
@@ -37,8 +43,10 @@ _KERNELS = {
 }
 
 #: Kernel names resolvable by :func:`cp_als` (``"sampled"`` and
-#: ``"sampled-tree"`` are registered lazily — see :func:`_resolve_kernel`).
-KERNEL_NAMES = ("einsum", "matmul", "sampled", "sampled-tree")
+#: ``"sampled-tree"`` are registered lazily — see :func:`_resolve_kernel`;
+#: ``"dimtree"`` is the sweep-aware dimension-tree engine of
+#: :mod:`repro.core.dimtree`).
+KERNEL_NAMES = ("einsum", "matmul", "dimtree", "sampled", "sampled-tree")
 
 
 @dataclass
@@ -72,11 +80,16 @@ class CPALSResult:
 
 
 def _resolve_kernel(
-    kernel: Union[str, MTTKRPKernel],
+    kernel: Union[str, MTTKRPKernel, SweepKernel],
     seed: Union[None, int, np.random.Generator] = None,
-) -> MTTKRPKernel:
-    if callable(kernel):
-        return kernel
+) -> SweepKernel:
+    if isinstance(kernel, SweepKernel) or callable(kernel):
+        return as_sweep_kernel(kernel)
+    check_kernel_name(kernel, KERNEL_NAMES)
+    if kernel == "dimtree":
+        # A fresh engine per run: the tree binds to the run's tensor on the
+        # first call and caches partial contractions across the whole run.
+        return DimensionTreeKernel()
     if kernel in ("sampled", "sampled-tree"):
         # Imported lazily: repro.sketch layers on this driver, so a module-level
         # import would be circular.  A fresh kernel is built per run so that an
@@ -94,12 +107,8 @@ def _resolve_kernel(
             # same bit stream the random initialisation consumes.
             kernel_seed = np.random.SeedSequence(seed).spawn(1)[0]
         distribution = "tree-leverage" if kernel == "sampled-tree" else "product-leverage"
-        return make_sampled_kernel(seed=kernel_seed, distribution=distribution)
-    if kernel in _KERNELS:
-        return _KERNELS[kernel]
-    raise ParameterError(
-        f"unknown MTTKRP kernel {kernel!r}; use one of {sorted(KERNEL_NAMES)} or a callable"
-    )
+        return PerCallKernel(make_sampled_kernel(seed=kernel_seed, distribution=distribution))
+    return PerCallKernel(_KERNELS[kernel])
 
 
 def cp_als(
@@ -131,7 +140,12 @@ def cp_als(
     seed:
         Seed for random initialisation.
     kernel:
-        Which MTTKRP kernel to use: ``"einsum"``, ``"matmul"``, or a callable.
+        Which MTTKRP kernel to use: a name from :data:`KERNEL_NAMES`
+        (``"dimtree"`` caches partial contractions across the sweep via
+        :class:`~repro.core.dimtree.DimensionTreeKernel`), a per-call
+        callable, or a :class:`~repro.core.sweep_kernel.SweepKernel`
+        instance (the driver announces sweep starts and factor updates to
+        sweep-aware kernels).
     warn_on_nonconvergence:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` when the loop
         exhausts ``n_iter_max`` without meeting ``tol``.
@@ -144,7 +158,7 @@ def cp_als(
     rank = check_rank(rank)
     if data.ndim < 2:
         raise ParameterError("CP-ALS requires a tensor with at least 2 modes")
-    mttkrp_kernel = _resolve_kernel(kernel, seed)
+    sweep_kernel = _resolve_kernel(kernel, seed)
 
     if isinstance(init, str):
         factors = initialize_factors(data, rank, method=init, seed=seed)
@@ -166,10 +180,22 @@ def cp_als(
     iteration = 0
     for iteration in range(1, n_iter_max + 1):
         final_mttkrp = None
+        sweep_kernel.begin_sweep(iteration)
+        # Per-sweep Hadamard cache: ``suffix[m]`` is the product of the
+        # pre-sweep Grams of modes ``m..N-1``; ``prefix`` accumulates the
+        # already-updated Grams of modes ``0..mode-1``.  The normal-equation
+        # matrix for ``mode`` is ``prefix ∘ suffix[mode + 1]``, so only the
+        # Gram of the factor just updated is folded in per mode instead of
+        # re-multiplying all ``N - 1`` operands.
+        suffix: List[np.ndarray] = [None] * (data.ndim + 1)  # type: ignore[list-item]
+        suffix[data.ndim] = np.ones((rank, rank), dtype=np.float64)
+        for m in range(data.ndim - 1, -1, -1):
+            suffix[m] = grams[m] * suffix[m + 1]
+        prefix = np.ones((rank, rank), dtype=np.float64)
         for mode in range(data.ndim):
-            b = mttkrp_kernel(data, factors, mode)
+            b = sweep_kernel.mttkrp(data, factors, mode)
             mttkrp_calls += 1
-            gram = hadamard_all(grams, skip=mode)
+            gram = prefix * suffix[mode + 1]
             factor = np.linalg.solve(gram.T + 1e-12 * np.eye(rank), b.T).T
             # Column normalisation keeps the factors well-scaled across sweeps.
             norms = np.linalg.norm(factor, axis=0)
@@ -178,12 +204,15 @@ def cp_als(
             weights = norms
             factors[mode] = factor
             grams[mode] = factor.T @ factor
+            sweep_kernel.factor_updated(mode, factor)
+            prefix = prefix * grams[mode]
             if mode == last_mode:
                 final_mttkrp = b
 
         # Efficient fit evaluation (Kolda & Bader, Section 3.4): using the last
-        # MTTKRP avoids reconstructing the dense tensor.
-        norm_model_sq = float(weights @ hadamard_all(grams) @ weights)
+        # MTTKRP avoids reconstructing the dense tensor; ``prefix`` now holds
+        # the Hadamard product of all updated Grams.
+        norm_model_sq = float(weights @ prefix @ weights)
         inner = float(np.sum(final_mttkrp * (factors[last_mode] * weights[None, :])))
         residual_sq = max(norm_x**2 + norm_model_sq - 2.0 * inner, 0.0)
         fit = 1.0 - np.sqrt(residual_sq) / norm_x if norm_x > 0 else 1.0

@@ -16,8 +16,10 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.sweep_kernel import PerCallKernel, SweepKernel, check_kernel_name
 from repro.cp.als import cp_als, CPALSResult
 from repro.exceptions import ParameterError
+from repro.parallel.dimtree import DistributedDimtreeKernel
 from repro.parallel.general import general_mttkrp
 from repro.parallel.grid_selection import choose_general_grid, choose_stationary_grid
 from repro.parallel.machine import SimulatedMachine
@@ -27,13 +29,51 @@ from repro.utils.validation import check_positive_int, check_rank
 
 #: MTTKRP kernels resolvable by :func:`parallel_cp_als`, mirroring the
 #: sequential registry (:data:`repro.cp.als.KERNEL_NAMES`): ``"exact"`` runs
-#: Algorithm 3/4, ``"sampled"`` the distributed sampled kernel of
+#: Algorithm 3/4, ``"dimtree"`` the sweep-aware distributed dimension-tree
+#: kernel of :mod:`repro.parallel.dimtree` (gathers each factor once per
+#: update instead of once per mode, local trees reuse partial contractions),
+#: ``"sampled"`` the distributed sampled kernel of
 #: :mod:`repro.sketch.parallel` with a caller-chosen distribution, and
 #: ``"sampled-tree"`` the same kernel pinned to the segment-tree exact
 #: leverage sampler (``distribution="tree-leverage"``, Gram-All-Reduce-only
 #: setup).  The sketch subsystem is imported lazily — it layers on this
-#: driver, so a module-level import would be circular.
-PARALLEL_KERNEL_NAMES = ("exact", "sampled", "sampled-tree")
+#: driver, so a module-level import would be circular.  Name validation is
+#: shared with the sequential registry via
+#: :func:`repro.core.sweep_kernel.check_kernel_name`.
+PARALLEL_KERNEL_NAMES = ("exact", "dimtree", "sampled", "sampled-tree")
+
+
+class _SweepWordCounter(SweepKernel):
+    """Forward the sweep protocol to the inner kernel; record per-sweep words."""
+
+    def __init__(
+        self,
+        inner: SweepKernel,
+        machine: SimulatedMachine,
+        ndim: int,
+        words_per_iteration: List[int],
+    ) -> None:
+        self.inner = inner
+        self.machine = machine
+        self.ndim = ndim
+        self.words_per_iteration = words_per_iteration
+        self._calls = 0
+        self._words_before = 0
+
+    def begin_sweep(self, iteration: int) -> None:
+        self.inner.begin_sweep(iteration)
+
+    def factor_updated(self, mode: int, factor: np.ndarray) -> None:
+        self.inner.factor_updated(mode, factor)
+
+    def mttkrp(self, tensor, factors, mode) -> np.ndarray:
+        result = self.inner.mttkrp(tensor, factors, mode)
+        self._calls += 1
+        if self._calls % self.ndim == 0:
+            current = self.machine.max_words_communicated
+            self.words_per_iteration.append(current - self._words_before)
+            self._words_before = current
+        return result
 
 
 @dataclass
@@ -93,9 +133,12 @@ def parallel_cp_als(
     algorithm:
         ``"stationary"`` (Algorithm 3) or ``"general"`` (Algorithm 4).
     kernel:
-        ``"exact"`` (the selected algorithm), ``"sampled"``, or
-        ``"sampled-tree"`` — the distributed sampled MTTKRP of
-        :mod:`repro.sketch.parallel`, resampled on every invocation
+        ``"exact"`` (the selected algorithm), ``"dimtree"`` (the sweep-aware
+        distributed dimension-tree kernel — each factor is All-Gathered once
+        per update instead of once per mode and the local MTTKRPs reuse
+        cached partial contractions; requires ``algorithm="stationary"``),
+        ``"sampled"``, or ``"sampled-tree"`` — the distributed sampled MTTKRP
+        of :mod:`repro.sketch.parallel`, resampled on every invocation
         (requires ``algorithm="stationary"``; ``"sampled-tree"`` pins
         ``sample_distribution="tree-leverage"``; see
         :func:`repro.sketch.parallel.parallel_randomized_cp_als` for the full
@@ -116,12 +159,9 @@ def parallel_cp_als(
     n_procs = check_positive_int(n_procs, "n_procs")
     if algorithm not in ("stationary", "general"):
         raise ParameterError("algorithm must be 'stationary' or 'general'")
-    if kernel not in PARALLEL_KERNEL_NAMES:
-        raise ParameterError(
-            f"unknown parallel MTTKRP kernel {kernel!r}; use one of {PARALLEL_KERNEL_NAMES}"
-        )
+    check_kernel_name(kernel, PARALLEL_KERNEL_NAMES, registry="parallel", allow_callable=False)
     sampled = kernel in ("sampled", "sampled-tree")
-    if sampled and algorithm != "stationary":
+    if kernel in ("sampled", "sampled-tree", "dimtree") and algorithm != "stationary":
         raise ParameterError(
             f"kernel={kernel!r} runs on the stationary distribution; use algorithm='stationary'"
         )
@@ -153,11 +193,14 @@ def parallel_cp_als(
             sample_rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
 
     words_per_iteration: List[int] = []
-    words_before_sweep = {"value": 0, "mttkrps_in_sweep": 0}
 
-    def counted_kernel(local_tensor, factors, mode):
-        if sampled:
-            result = sampled_mttkrp_parallel(
+    inner: SweepKernel
+    if kernel == "dimtree":
+        inner = DistributedDimtreeKernel(grid, machine=machine)
+    elif sampled:
+
+        def sampled_kernel(local_tensor, factors, mode):
+            return sampled_mttkrp_parallel(
                 local_tensor,
                 factors,
                 mode,
@@ -166,17 +209,19 @@ def parallel_cp_als(
                 distribution=sample_distribution,
                 seed=sample_rng,
                 machine=machine,
-            )
-        elif algorithm == "stationary":
-            result = stationary_mttkrp(local_tensor, factors, mode, grid, machine=machine)
-        else:
-            result = general_mttkrp(local_tensor, factors, mode, grid, machine=machine)
-        words_before_sweep["mttkrps_in_sweep"] += 1
-        if words_before_sweep["mttkrps_in_sweep"] % data.ndim == 0:
-            current = machine.max_words_communicated
-            words_per_iteration.append(current - words_before_sweep["value"])
-            words_before_sweep["value"] = current
-        return result.assemble()
+            ).assemble()
+
+        inner = PerCallKernel(sampled_kernel)
+    else:
+
+        def exact_kernel(local_tensor, factors, mode):
+            if algorithm == "stationary":
+                result = stationary_mttkrp(local_tensor, factors, mode, grid, machine=machine)
+            else:
+                result = general_mttkrp(local_tensor, factors, mode, grid, machine=machine)
+            return result.assemble()
+
+        inner = PerCallKernel(exact_kernel)
 
     als_result = cp_als(
         data,
@@ -185,7 +230,7 @@ def parallel_cp_als(
         tol=tol,
         seed=seed,
         init=init,
-        kernel=counted_kernel,
+        kernel=_SweepWordCounter(inner, machine, data.ndim, words_per_iteration),
     )
     return ParallelCPALSResult(
         als=als_result,

@@ -13,7 +13,10 @@ Provided algorithms:
 * :func:`stationary_mttkrp` — Algorithm 3 (N-way processor grid, tensor never
   communicated);
 * :func:`general_mttkrp` — Algorithm 4 ((N+1)-way grid, also partitions the
-  rank dimension).
+  rank dimension);
+* :class:`DistributedDimtreeKernel` — the sweep-aware CP-ALS kernel of
+  :mod:`repro.parallel.dimtree` (per-sweep gather caching + per-rank
+  dimension trees), with its exact ledger predictor.
 """
 
 from repro.parallel.machine import SimulatedMachine, CommunicationRecord
@@ -33,6 +36,11 @@ from repro.parallel.distribution import (
 )
 from repro.parallel.stationary import stationary_mttkrp
 from repro.parallel.general import general_mttkrp
+from repro.parallel.dimtree import (
+    DistributedDimtreeKernel,
+    predicted_dimtree_ledger,
+    predicted_dimtree_sweep_words,
+)
 from repro.parallel.grid_selection import (
     factorizations,
     choose_stationary_grid,
@@ -56,6 +64,9 @@ __all__ = [
     "DistributedMTTKRPOutput",
     "stationary_mttkrp",
     "general_mttkrp",
+    "DistributedDimtreeKernel",
+    "predicted_dimtree_ledger",
+    "predicted_dimtree_sweep_words",
     "factorizations",
     "choose_stationary_grid",
     "choose_general_grid",

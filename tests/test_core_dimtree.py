@@ -1,0 +1,270 @@
+"""Unit tests for the dimension-tree MTTKRP engine (repro.core.dimtree)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dimtree import (
+    DimensionTree,
+    DimensionTreeKernel,
+    SweepCost,
+    dimtree_sweep_cost,
+    split_chain,
+    split_half,
+)
+from repro.core.reference import mttkrp_reference
+from repro.core.sweep_kernel import PerCallKernel, SweepKernel, as_sweep_kernel, check_kernel_name
+from repro.cp.als import cp_als
+from repro.exceptions import ParameterError
+from repro.tensor.random import noisy_low_rank_tensor, random_factors, random_tensor
+
+SHAPES = [(3, 4, 5), (3, 2, 4, 2), (2, 3, 2, 2, 3)]
+
+
+def problem(shape, rank, seed=0):
+    tensor = random_tensor(shape, seed=seed)
+    factors = random_factors(shape, rank, seed=seed + 1)
+    return tensor, factors
+
+
+def make_rng_split(seed):
+    """A deterministic but non-trivial split rule driven by a seeded stream."""
+    rng = np.random.default_rng(seed)
+
+    def split(modes):
+        cut = int(rng.integers(1, len(modes)))
+        return modes[:cut], modes[cut:]
+
+    return split
+
+
+class TestDimensionTreeCorrectness:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_reference_all_modes(self, shape):
+        """3-, 4-, and 5-way: every mode equals Definition 2.1 up to association."""
+        tensor, factors = problem(shape, 3)
+        tree = DimensionTree(tensor)
+        for mode in range(len(shape)):
+            ref = mttkrp_reference(tensor, factors, mode)
+            assert np.allclose(tree.mttkrp(factors, mode), ref, atol=1e-10)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_cached_second_call_matches(self, shape):
+        tensor, factors = problem(shape, 2, seed=3)
+        tree = DimensionTree(tensor)
+        first = [tree.mttkrp(factors, m) for m in range(len(shape))]
+        steps_after_first = tree.contractions
+        second = [tree.mttkrp(factors, m) for m in range(len(shape))]
+        # identical factors: all partials valid, no new contractions at all
+        assert tree.contractions == steps_after_first
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_invalidation_on_factor_replacement(self, shape):
+        """Replacing one factor must invalidate exactly the dependent partials."""
+        tensor, factors = problem(shape, 2, seed=4)
+        tree = DimensionTree(tensor)
+        for m in range(len(shape)):
+            tree.mttkrp(factors, m)
+        rng = np.random.default_rng(99)
+        for changed in range(len(shape)):
+            new_factors = list(factors)
+            new_factors[changed] = rng.standard_normal(np.asarray(factors[changed]).shape)
+            for mode in range(len(shape)):
+                ref = mttkrp_reference(tensor, new_factors, mode)
+                assert np.allclose(tree.mttkrp(new_factors, mode), ref, atol=1e-10)
+
+    def test_explicit_update_factor(self):
+        tensor, factors = problem((3, 4, 5), 2, seed=5)
+        tree = DimensionTree(tensor)
+        tree.mttkrp(factors, 0)
+        new0 = np.random.default_rng(6).standard_normal(np.asarray(factors[0]).shape)
+        tree.update_factor(0, new0)
+        factors = [new0] + list(factors[1:])
+        ref = mttkrp_reference(tensor, factors, 1)
+        assert np.allclose(tree.mttkrp(factors, 1), ref, atol=1e-10)
+
+    def test_uncached_engine_matches_reference(self):
+        tensor, factors = problem((3, 4, 5), 3, seed=7)
+        tree = DimensionTree(tensor, cache=False)
+        for mode in range(3):
+            ref = mttkrp_reference(tensor, factors, mode)
+            assert np.allclose(tree.mttkrp(factors, mode), ref, atol=1e-10)
+
+    def test_chain_split_matches_reference(self):
+        tensor, factors = problem((2, 3, 4, 3), 2, seed=8)
+        tree = DimensionTree(tensor, split=split_chain)
+        for mode in range(4):
+            ref = mttkrp_reference(tensor, factors, mode)
+            assert np.allclose(tree.mttkrp(factors, mode), ref, atol=1e-10)
+
+    def test_rejects_one_way_tensor(self):
+        with pytest.raises(ParameterError):
+            DimensionTree(np.ones(4))
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ParameterError):
+            DimensionTree(random_tensor((3, 3, 3), seed=0), split=lambda modes: (modes, ()))
+
+    def test_missing_factor_rejected(self):
+        tensor, factors = problem((3, 4, 5), 2, seed=9)
+        tree = DimensionTree(tensor)
+        factors = list(factors)
+        factors[1] = None
+        with pytest.raises(ParameterError):
+            tree.mttkrp(factors, 0)
+
+
+class TestCountersMatchModel:
+    @pytest.mark.parametrize("shape,rank", [((3, 4, 5), 2), ((3, 2, 4, 2), 3), ((2, 3, 2, 2, 3), 2)])
+    def test_als_sweep_counters_equal_replay(self, shape, rank):
+        """The counted per-sweep ledger equals the symbolic replay exactly."""
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.05, seed=10)
+        kernel = DimensionTreeKernel()
+        cp_als(tensor, rank, n_iter_max=4, tol=0.0, seed=11, kernel=kernel)
+        per_sweep = kernel.per_sweep_costs()
+        assert len(per_sweep) == 4
+        model = dimtree_sweep_cost(shape, rank)
+        assert per_sweep[-1] == model
+        assert per_sweep[-2] == model
+        # half split: the cold first sweep already has the steady-state cost
+        assert per_sweep[0] == dimtree_sweep_cost(shape, rank, first_sweep=True)
+
+    def test_uncached_chain_counters_equal_independent_replay(self):
+        shape, rank = (3, 2, 4, 2), 3
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.05, seed=12)
+        kernel = DimensionTreeKernel(split=split_chain, cache=False)
+        cp_als(tensor, rank, n_iter_max=3, tol=0.0, seed=13, kernel=kernel)
+        model = dimtree_sweep_cost(shape, rank, split=split_chain, cache=False)
+        for sweep in kernel.per_sweep_costs():
+            assert sweep == model
+
+    def test_tree_touches_tensor_twice_per_sweep(self):
+        shape, rank = (4, 4, 4, 4), 2
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.05, seed=14)
+        kernel = DimensionTreeKernel()
+        cp_als(tensor, rank, n_iter_max=3, tol=0.0, seed=15, kernel=kernel)
+        steady = kernel.per_sweep_costs()[-1]
+        assert steady.root_reads == 2
+        independent = dimtree_sweep_cost(shape, rank, split=split_chain, cache=False)
+        assert independent.root_reads == len(shape)
+        assert steady.flops < independent.flops
+
+    def test_sweep_cost_subtraction(self):
+        a = SweepCost(contractions=5, flops=10, words=20, root_reads=2)
+        b = SweepCost(contractions=2, flops=4, words=8, root_reads=1)
+        assert a - b == SweepCost(contractions=3, flops=6, words=12, root_reads=1)
+
+
+class TestDimtreeKernelInALS:
+    @pytest.mark.parametrize("shape,rank", [((10, 9, 8), 3), ((6, 5, 4, 5), 2), ((4, 3, 4, 3, 4), 2)])
+    def test_fit_trajectory_matches_einsum(self, shape, rank):
+        """Acceptance: the dimtree kernel's ALS fits equal einsum's to 1e-10."""
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=16)
+        a = cp_als(tensor, rank, n_iter_max=12, tol=0.0, seed=17, kernel="einsum")
+        b = cp_als(tensor, rank, n_iter_max=12, tol=0.0, seed=17, kernel="dimtree")
+        assert np.allclose(a.fits, b.fits, atol=1e-10)
+
+    def test_kernel_rebinds_to_new_tensor(self):
+        kernel = DimensionTreeKernel()
+        t1 = noisy_low_rank_tensor((5, 4, 3), 2, noise_level=0.05, seed=18)
+        t2 = noisy_low_rank_tensor((6, 5, 4), 2, noise_level=0.05, seed=19)
+        a1 = cp_als(t1, 2, n_iter_max=3, tol=0.0, seed=20, kernel=kernel)
+        a2 = cp_als(t2, 2, n_iter_max=3, tol=0.0, seed=21, kernel=kernel)
+        b1 = cp_als(t1, 2, n_iter_max=3, tol=0.0, seed=20, kernel="einsum")
+        b2 = cp_als(t2, 2, n_iter_max=3, tol=0.0, seed=21, kernel="einsum")
+        assert np.allclose(a1.fits, b1.fits, atol=1e-10)
+        assert np.allclose(a2.fits, b2.fits, atol=1e-10)
+
+    def test_per_sweep_costs_sane_after_rebind(self):
+        """Regression: a tree rebuild must restart the sweep marks — deltas
+        taken against the old tree's totals came out negative."""
+        kernel = DimensionTreeKernel()
+        t1 = noisy_low_rank_tensor((5, 4, 3), 2, noise_level=0.05, seed=18)
+        t2 = noisy_low_rank_tensor((6, 5, 4), 2, noise_level=0.05, seed=19)
+        cp_als(t1, 2, n_iter_max=3, tol=0.0, seed=20, kernel=kernel)
+        cp_als(t2, 2, n_iter_max=3, tol=0.0, seed=21, kernel=kernel)
+        per_sweep = kernel.per_sweep_costs()
+        assert len(per_sweep) == 3  # the rebind dropped run 1's sweeps
+        model = dimtree_sweep_cost((6, 5, 4), 2)
+        for sweep in per_sweep:
+            assert sweep.flops > 0 and sweep.words > 0
+            assert sweep == model
+
+    def test_dimtree_name_registered(self):
+        from repro.cp.als import KERNEL_NAMES
+
+        assert "dimtree" in KERNEL_NAMES
+
+
+class TestSweepKernelProtocol:
+    def test_per_call_adapter_and_call_syntax(self):
+        calls = []
+
+        def fn(tensor, factors, mode):
+            calls.append(mode)
+            return np.zeros((np.asarray(tensor).shape[mode], 2))
+
+        kernel = as_sweep_kernel(fn)
+        assert isinstance(kernel, PerCallKernel)
+        kernel.begin_sweep(1)  # no-op hooks must exist
+        kernel.factor_updated(0, np.zeros((3, 2)))
+        out = kernel(np.zeros((3, 4)), [None, np.zeros((4, 2))], 0)
+        assert out.shape == (3, 2)
+        assert calls == [0]
+
+    def test_sweep_kernel_passthrough(self):
+        kernel = DimensionTreeKernel()
+        assert as_sweep_kernel(kernel) is kernel
+
+    def test_as_sweep_kernel_rejects_non_callable(self):
+        with pytest.raises(ParameterError):
+            as_sweep_kernel(42)
+
+    def test_check_kernel_name_accepts_and_rejects(self):
+        assert check_kernel_name("a", ("a", "b")) == "a"
+        with pytest.raises(ParameterError, match="use one of a, b or a callable"):
+            check_kernel_name("c", ("a", "b"))
+        with pytest.raises(ParameterError, match="parallel MTTKRP kernel"):
+            check_kernel_name("c", ("a", "b"), registry="parallel", allow_callable=False)
+
+
+class TestSplitInvariance:
+    """Hypothesis sweep: ALS results do not depend on the tree split choice."""
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        split_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_modes=st.integers(min_value=3, max_value=5),
+        problem_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_sweep_results_invariant_to_split(self, split_seed, n_modes, problem_seed):
+        shape = tuple([4, 3, 5, 2, 3][:n_modes])
+        tensor = noisy_low_rank_tensor(shape, 2, noise_level=0.05, seed=problem_seed)
+        reference = cp_als(tensor, 2, n_iter_max=5, tol=0.0, seed=problem_seed + 1, kernel="einsum")
+        kernel = DimensionTreeKernel(split=make_rng_split(split_seed))
+        result = cp_als(tensor, 2, n_iter_max=5, tol=0.0, seed=problem_seed + 1, kernel=kernel)
+        assert np.allclose(result.fits, reference.fits, atol=1e-10)
+        # and the engine itself: every mode equals the reference MTTKRP
+        factors = random_factors(shape, 2, seed=problem_seed + 2)
+        tree = DimensionTree(tensor, split=make_rng_split(split_seed + 1))
+        for mode in range(n_modes):
+            ref = mttkrp_reference(tensor, factors, mode)
+            assert np.allclose(tree.mttkrp(factors, mode), ref, atol=1e-10)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(split_seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_counted_cost_matches_replay_for_any_split(self, split_seed):
+        """Counted ledger == symbolic replay for arbitrary split rules too."""
+        shape, rank = (3, 2, 4, 2), 2
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.05, seed=22)
+        kernel = DimensionTreeKernel(split=make_rng_split(split_seed))
+        cp_als(tensor, rank, n_iter_max=5, tol=0.0, seed=23, kernel=kernel)
+        model = dimtree_sweep_cost(shape, rank, split=make_rng_split(split_seed))
+        assert kernel.per_sweep_costs()[-1] == model

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.kernels import mttkrp, mttkrp_flops, local_mttkrp
+from repro.core.kernels import _PATH_CACHE, mttkrp, mttkrp_flops, local_mttkrp
 from repro.core.matmul_baseline import mttkrp_via_matmul
 from repro.core.reference import mttkrp_reference
 from repro.exceptions import ShapeError
@@ -143,3 +143,28 @@ class TestFlopCounts:
 
     def test_scales_linearly_in_rank(self):
         assert mttkrp_flops((4, 4), 8) == 2 * mttkrp_flops((4, 4), 4)
+
+
+class TestContractionPathCache:
+    def test_path_cached_per_shape_mode_rank(self):
+        _PATH_CACHE.clear()
+        tensor, factors = problem((4, 5, 6), 3, seed=11)
+        first = mttkrp(tensor, factors, 1)
+        assert ((4, 5, 6), 1, 3) in _PATH_CACHE
+        entries = len(_PATH_CACHE)
+        # same configuration: the cached path is reused, not recomputed
+        second = mttkrp(tensor, factors, 1)
+        assert len(_PATH_CACHE) == entries
+        assert np.array_equal(first, second)
+        # a different mode is a different einsum: new entry, same results
+        mttkrp(tensor, factors, 2)
+        assert ((4, 5, 6), 2, 3) in _PATH_CACHE
+
+    def test_cached_path_matches_reference(self):
+        _PATH_CACHE.clear()
+        tensor, factors = problem((3, 4, 5), 2, seed=12)
+        for mode in range(3):
+            for _ in range(2):  # second pass exercises the cached path
+                assert np.allclose(
+                    mttkrp(tensor, factors, mode), mttkrp_reference(tensor, factors, mode)
+                )

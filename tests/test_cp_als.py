@@ -77,6 +77,17 @@ class TestCPALSOptions:
         b = cp_als(tensor, 2, n_iter_max=10, seed=13, kernel="matmul")
         assert np.allclose(a.fits, b.fits, atol=1e-10)
 
+    def test_dimtree_kernel_matches_einsum_trajectory(self):
+        tensor = noisy_low_rank_tensor((9, 8, 7), 3, noise_level=0.02, seed=30)
+        a = cp_als(tensor, 3, n_iter_max=15, tol=0.0, seed=31, kernel="einsum")
+        b = cp_als(tensor, 3, n_iter_max=15, tol=0.0, seed=31, kernel="dimtree")
+        assert np.allclose(a.fits, b.fits, atol=1e-10)
+        assert a.mttkrp_calls == b.mttkrp_calls
+
+    def test_unknown_kernel_message_unified(self):
+        with pytest.raises(ParameterError, match="unknown MTTKRP kernel 'gpu'; use one of"):
+            cp_als(random_tensor((3, 3), seed=0), 2, kernel="gpu")
+
     def test_custom_kernel_callable(self):
         from repro.core.kernels import mttkrp
 
