@@ -5,7 +5,11 @@ runtime of sequential CP-ALS, the per-iteration communication of CP-ALS with
 every MTTKRP executed on the simulated distributed machine, and the
 dimension-tree frontier: measured (counted, not timed) per-sweep speedup of
 the ``"dimtree"`` kernel over ``N`` independent per-mode kernels across
-``(N, I, R)``, recorded as deterministic JSON
+``(N, I, R)``, plus the fused ``"sampled-dimtree"`` frontier (ISSUE 5):
+per-sweep counted flops/words of the fused kernel against both the exact
+tree and the per-call sampled baseline, with its parallel ledgers
+reconciled against ``predicted_sampled_dimtree_ledger``, recorded as
+deterministic JSON
 (``benchmarks/als_dimtree_frontier.json``, override with the
 ``ALS_DIMTREE_FRONTIER_JSON`` environment variable).  Every recorded value is
 a flop/word count, an exact ratio of counts, or a seeded-run boolean — no
@@ -22,13 +26,21 @@ import pytest
 from conftest import emit
 from repro.bounds.parallel import combined_parallel_lower_bound
 from repro.core.dimtree import DimensionTreeKernel, split_chain
-from repro.costmodel import dimtree_crossover_rank, dimtree_vs_independent
+from repro.core.sampled_dimtree import SampledDimtreeKernel
+from repro.costmodel import (
+    dimtree_crossover_rank,
+    dimtree_vs_independent,
+    sampled_dimtree_sweep_cost,
+    sampled_tree_sweep_cost,
+    three_way_crossover,
+)
 from repro.cp.als import cp_als
 from repro.cp.parallel_als import parallel_cp_als
 from repro.parallel.dimtree import (
     predicted_dimtree_ledger,
     predicted_dimtree_sweep_words,
 )
+from repro.sketch.parallel.sampled_dimtree import predicted_sampled_dimtree_ledger
 from repro.tensor.random import noisy_low_rank_tensor
 
 
@@ -170,6 +182,150 @@ def _parallel_row(shape, rank, n_procs, seed):
     }
 
 
+#: (shape, rank, draws) cases of the fused sampled-dimtree frontier (ISSUE 5).
+#: Across these rows the product-leverage fused sweep undercuts both the
+#: exact tree and the per-call sampled baseline; the tree-leverage variant's
+#: per-draw descent arithmetic keeps it above the exact tree (it still beats
+#: the per-call baseline once draws amortize the root contraction, e.g. the
+#: (16, 16, 16) rows) — the recorded faces of the three-way crossover.
+FUSED_CASES = [
+    ((10, 10, 10), 3, 16),
+    ((16, 16, 16), 4, 64),
+    ((16, 16, 16), 4, 128),
+    ((20, 20, 20), 4, 64),
+    ((24, 20, 16), 4, 96),
+]
+
+#: Sweeps per fused run: enough for the residual gate to see converged
+#: factors on the winning cases.
+FUSED_SWEEPS = 12
+
+#: Residual-gate tolerance of the recorded gated runs.
+FUSED_RESIDUAL_TOL = 0.05
+
+
+def _fused_engine_sweep(tensor, rank, draws, seed, **kernel_kwargs):
+    """Last-sweep counted cost (and run) of one fused-kernel configuration."""
+    kernel = SampledDimtreeKernel(n_samples=draws, seed=seed + 17, **kernel_kwargs)
+    run = cp_als(
+        tensor, rank, n_iter_max=FUSED_SWEEPS, tol=0.0, seed=seed + 1, kernel=kernel
+    )
+    return kernel, run, kernel.per_sweep_costs()[-1]
+
+
+def _fused_row(shape, rank, draws, seed):
+    tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.01, seed=seed)
+    n_modes = len(shape)
+
+    tree_kernel = DimensionTreeKernel()
+    exact_run = cp_als(
+        tensor, rank, n_iter_max=FUSED_SWEEPS, tol=0.0, seed=seed + 1,
+        kernel=tree_kernel,
+    )
+    dimtree = tree_kernel.per_sweep_costs()[-1]
+
+    # The residual-gated *exact* engine on the same converging run: the
+    # ISSUE-5 witness that gating drops full-tensor contractions per sweep
+    # below 2 without degrading the final fit beyond the tolerance.
+    gated_kernel = DimensionTreeKernel(
+        invalidation="residual", residual_tol=FUSED_RESIDUAL_TOL
+    )
+    gated_run = cp_als(
+        tensor, rank, n_iter_max=FUSED_SWEEPS, tol=0.0, seed=seed + 1,
+        kernel=gated_kernel,
+    )
+    gated_roots = [s.root_reads for s in gated_kernel.per_sweep_costs()]
+    dimtree_residual = {
+        "root_reads_per_sweep": gated_roots,
+        "skipped_invalidations": int(gated_kernel.tree.skipped_invalidations),
+        "late_sweeps_below_two": bool(
+            min(gated_roots[FUSED_SWEEPS // 2 :]) < 2
+        ),
+        "fit_gap_within_tol": bool(
+            abs(gated_run.final_fit - exact_run.final_fit) <= FUSED_RESIDUAL_TOL
+        ),
+    }
+
+    base_kernel, _, baseline = _fused_engine_sweep(
+        tensor, rank, draws, seed, cache=False
+    )
+    base_distinct = [r.n_distinct for r in base_kernel.draw_log[-n_modes:]]
+    # counted == modelled, exactly: the replay walks the same schedule
+    assert baseline.to_dict() == sampled_tree_sweep_cost(
+        shape, rank, draws, base_distinct
+    ).to_dict()
+
+    fused_rows = {}
+    for label, kwargs in (
+        ("tree-leverage", {}),
+        ("product-leverage", {"distribution": "product-leverage"}),
+        (
+            "tree-leverage-residual",
+            {"invalidation": "residual", "residual_tol": FUSED_RESIDUAL_TOL},
+        ),
+    ):
+        kernel, run, sweep = _fused_engine_sweep(tensor, rank, draws, seed, **kwargs)
+        if "residual" not in label:
+            distinct = [r.n_distinct for r in kernel.draw_log[-n_modes:]]
+            assert sweep.to_dict() == sampled_dimtree_sweep_cost(
+                shape, rank, draws, distinct,
+                distribution=kwargs.get("distribution", "tree-leverage"),
+            ).to_dict()
+        fused_rows[label] = {
+            "flops": sweep.flops,
+            "words": sweep.words,
+            "root_reads": sweep.root_reads,
+            "distinct_rows": sweep.distinct_rows,
+            "beats_dimtree": bool(
+                sweep.flops < dimtree.flops and sweep.words < dimtree.words
+            ),
+            "beats_sampled_tree": bool(
+                sweep.flops < baseline.flops and sweep.words < baseline.words
+            ),
+        }
+        if "residual" in label:
+            fused_rows[label]["root_reads_per_sweep"] = [
+                s.root_reads for s in kernel.per_sweep_costs()
+            ]
+            fused_rows[label]["skipped_invalidations"] = int(
+                kernel.tree.skipped_invalidations
+            )
+    return {
+        "shape": list(shape),
+        "rank": rank,
+        "n_draws": draws,
+        "dimtree_sweep": {"flops": dimtree.flops, "words": dimtree.words},
+        "dimtree_residual": dimtree_residual,
+        "sampled_tree_sweep": {"flops": baseline.flops, "words": baseline.words},
+        "fused": fused_rows,
+    }
+
+
+def _fused_parallel_row(shape, rank, n_procs, draws, seed):
+    tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=seed)
+    run = parallel_cp_als(
+        tensor, rank, n_procs, kernel="sampled-dimtree", n_samples=draws,
+        n_iter_max=FRONTIER_SWEEPS, tol=0.0, seed=seed + 1,
+    )
+    grid = run.grids[0]
+    predicted = predicted_sampled_dimtree_ledger(shape, rank, grid, FRONTIER_SWEEPS)
+    # the machine ledger meets the collective-replay predictor word for word
+    assert np.array_equal(run.machine.words_sent, predicted)
+    assert np.array_equal(run.machine.words_received, predicted)
+    return {
+        "shape": list(shape),
+        "rank": rank,
+        "n_procs": n_procs,
+        "n_draws": draws,
+        "grid": list(grid),
+        "measured_total_words": int(run.total_words),
+        "predicted_total_words": int(predicted.max()),
+        "dimtree_predicted_total_words": int(
+            predicted_dimtree_ledger(shape, rank, grid, FRONTIER_SWEEPS).max()
+        ),
+    }
+
+
 @pytest.fixture(scope="module")
 def dimtree_frontier(request):
     seed = int(request.config.getoption("--seed"))
@@ -177,12 +333,25 @@ def dimtree_frontier(request):
     parallel_rows = [
         _parallel_row(shape, rank, n_procs, seed) for shape, rank, n_procs in PARALLEL_CASES
     ]
+    fused_rows = [
+        _fused_row(shape, rank, draws, seed) for shape, rank, draws in FUSED_CASES
+    ]
+    fused_parallel_rows = [
+        _fused_parallel_row(shape, rank, n_procs, 32, seed)
+        for shape, rank, n_procs in PARALLEL_CASES
+    ]
+    fused_model = three_way_crossover((16, 16, 16), [2, 4, 8], [8, 32, 128])
     return {
         "sweeps_per_run": FRONTIER_SWEEPS,
         "counting": "2*T*R flops and (partial-in + factor + partial-out) words "
         "per single-mode contraction; steady-state sweep",
         "rows": rows,
         "parallel_rows": parallel_rows,
+        "fused_sweeps_per_run": FUSED_SWEEPS,
+        "fused_residual_tol": FUSED_RESIDUAL_TOL,
+        "fused_rows": fused_rows,
+        "fused_parallel_rows": fused_parallel_rows,
+        "fused_model_crossover": fused_model,
     }
 
 
@@ -211,6 +380,21 @@ def test_als_dimtree_frontier_json(dimtree_frontier):
         for row in dimtree_frontier["rows"]
     ]
     emit("dimtree ALS frontier (counted per-sweep MTTKRP cost)", "\n".join(lines))
+    fused_lines = []
+    for row in dimtree_frontier["fused_rows"]:
+        pl = row["fused"]["product-leverage"]
+        fused_lines.append(
+            f"  {str(tuple(row['shape'])):>14} R={row['rank']:<2} D={row['n_draws']:<4}"
+            f" fused {pl['flops']:>8,}/{pl['words']:>7,}"
+            f" dimtree {row['dimtree_sweep']['flops']:>8,}/{row['dimtree_sweep']['words']:>7,}"
+            f" sampled-tree {row['sampled_tree_sweep']['flops']:>8,}/{row['sampled_tree_sweep']['words']:>7,}"
+            f"  wins both: {pl['beats_dimtree'] and pl['beats_sampled_tree']}"
+        )
+    emit(
+        "fused sampled-dimtree frontier (flops/words per steady sweep, "
+        "product-leverage fused column)",
+        "\n".join(fused_lines),
+    )
     assert json.loads(target.read_text(encoding="utf-8"))["rows"]
 
 
@@ -236,3 +420,36 @@ def test_dimtree_frontier_acceptance(dimtree_frontier):
         assert row["measured_total_words"] == row["predicted_total_words"]
         assert row["steady_sweep_words"] == row["modelled_steady_sweep_words"]
         assert row["steady_sweep_words"] < row["exact_steady_sweep_words"]
+
+
+def test_fused_frontier_acceptance(dimtree_frontier):
+    """ISSUE 5 acceptance on the recorded fused frontier.
+
+    At least one (N, I, R, draws) row's fused sweep counts strictly below
+    *both* the exact ``"dimtree"`` sweep and the per-call ``"sampled-tree"``
+    sweep on flops and words at once; every exact-mode fused row's counted
+    ledger matched its symbolic replay (asserted at record time); and every
+    fused parallel ledger met the collective-replay predictor word for word.
+    """
+    rows = dimtree_frontier["fused_rows"]
+    assert rows, "fused frontier recorded no rows"
+    wins = [
+        row
+        for row in rows
+        for variant in row["fused"].values()
+        if variant["beats_dimtree"] and variant["beats_sampled_tree"]
+    ]
+    assert wins, "no fused row beat both engines on flops and words"
+    # the residual-gated exact engine drops full-tensor contractions per
+    # sweep below 2 on a converging run (late sweeps, where the factors have
+    # settled) without degrading the final fit beyond the tolerance
+    gated_witnesses = [
+        row
+        for row in rows
+        if row["dimtree_residual"]["late_sweeps_below_two"]
+        and row["dimtree_residual"]["fit_gap_within_tol"]
+        and row["dimtree_residual"]["skipped_invalidations"] > 0
+    ]
+    assert gated_witnesses, "no row witnessed residual gating below 2 roots/sweep"
+    for row in dimtree_frontier["fused_parallel_rows"]:
+        assert row["measured_total_words"] == row["predicted_total_words"]

@@ -26,10 +26,16 @@ from repro.core.multi_mode import multi_mode_mttkrp, MultiModeResult
 from repro.core.dimtree import (
     DimensionTree,
     DimensionTreeKernel,
+    FactorGate,
     SweepCost,
     dimtree_sweep_cost,
     split_chain,
     split_half,
+)
+from repro.core.sampled_dimtree import (
+    FusedSamplerCache,
+    FusedSweepCost,
+    SampledDimtreeKernel,
 )
 from repro.core.sweep_kernel import (
     PerCallKernel,
@@ -47,10 +53,14 @@ __all__ = [
     "MultiModeResult",
     "DimensionTree",
     "DimensionTreeKernel",
+    "FactorGate",
     "SweepCost",
     "dimtree_sweep_cost",
     "split_chain",
     "split_half",
+    "FusedSamplerCache",
+    "FusedSweepCost",
+    "SampledDimtreeKernel",
     "SweepKernel",
     "PerCallKernel",
     "as_sweep_kernel",

@@ -159,6 +159,81 @@ def _step_cost(
 
 
 # ---------------------------------------------------------------------------
+# staleness detection (shared by the tree, the fused sampler cache, and the
+# distributed kernels' gather caches)
+# ---------------------------------------------------------------------------
+
+class FactorGate:
+    """Per-factor staleness gate: identity detection + optional residual gating.
+
+    One gate instance is the single invalidation authority for every cache
+    keyed on a factor list: :class:`DimensionTree` partials, the fused
+    kernel's sampler trees, and the distributed kernels' gathered factor
+    blocks all read the same ``versions`` counters, so the residual gate
+    (when enabled) holds *all* dependent caches together.
+
+    ``register`` stores the replacement and returns whether dependent caches
+    must invalidate.  Under ``invalidation="exact"`` any new array object
+    invalidates; under ``"residual"`` a replacement whose *accumulated*
+    relative Frobenius drift stays at or below ``residual_tol`` is absorbed
+    (the drift keeps accumulating — a triangle-inequality bound on how far
+    the cached consumers' input has strayed), and the factor invalidates
+    only once the bound crosses the tolerance.
+    """
+
+    def __init__(
+        self, n_modes: int, *, invalidation: str = "exact", residual_tol: float = 1e-2
+    ) -> None:
+        if invalidation not in ("exact", "residual"):
+            raise ParameterError(
+                f"invalidation must be 'exact' or 'residual', got {invalidation!r}"
+            )
+        self.invalidation = invalidation
+        self.residual_tol = float(residual_tol)
+        self.factors: List[Optional[np.ndarray]] = [None] * int(n_modes)
+        self.versions: List[int] = [0] * int(n_modes)
+        self.drift: List[float] = [0.0] * int(n_modes)
+        self.skipped = 0
+
+    def register(
+        self, mode: int, factor: Optional[np.ndarray], *, force: bool = False
+    ) -> bool:
+        """Store a (possibly) replaced factor; return ``True`` on invalidation.
+
+        ``force`` invalidates even when ``factor`` is the *same object* as
+        the stored one — the escape hatch for in-place mutation, where no
+        pre-mutation copy exists to measure drift against.
+        """
+        old = self.factors[mode]
+        if factor is old:
+            if not force:
+                return False
+            self.versions[mode] += 1
+            self.drift[mode] = 0.0
+            return True
+        self.factors[mode] = factor
+        new_arr = None if factor is None else np.asarray(factor)
+        old_arr = None if old is None else np.asarray(old)
+        if (
+            self.invalidation == "residual"
+            and new_arr is not None
+            and old_arr is not None
+            and new_arr.shape == old_arr.shape
+        ):
+            denom = float(np.linalg.norm(old_arr))
+            delta = (
+                float(np.linalg.norm(new_arr - old_arr)) / denom if denom > 0 else np.inf
+            )
+            self.drift[mode] += delta
+            if self.drift[mode] <= self.residual_tol:
+                self.skipped += 1
+                return False
+        self.versions[mode] += 1
+        self.drift[mode] = 0.0
+        return True
+
+
+# ---------------------------------------------------------------------------
 # the executable engine
 # ---------------------------------------------------------------------------
 
@@ -178,6 +253,21 @@ class DimensionTree:
         When ``False``, no partial is ever stored: every call recomputes the
         root-to-leaf contraction chain, which is exactly the per-mode
         independent-kernel baseline under identical counting conventions.
+    invalidation:
+        ``"exact"`` (default) invalidates every dependent cached node as soon
+        as a factor is replaced.  ``"residual"`` gates the invalidation on
+        the factor's movement: a replacement whose relative Frobenius change
+        ``||new - old|| / ||old||`` leaves the factor's *accumulated* drift
+        at or below ``residual_tol`` keeps the dependent nodes (the drift
+        keeps accumulating — a triangle-inequality bound on how far the
+        cached partials' inputs have strayed); once the accumulated drift
+        exceeds the tolerance the factor invalidates as usual and its drift
+        resets.  Served MTTKRPs are then approximate, with the factor-input
+        error bounded by ``residual_tol`` per factor — the knob trades exact
+        recomputation (and its two full-tensor contractions per sweep) for
+        bounded staleness on nearly-converged ALS runs.
+    residual_tol:
+        Accumulated relative-drift tolerance of ``invalidation="residual"``.
 
     Notes
     -----
@@ -188,17 +278,33 @@ class DimensionTree:
     them in place.
     """
 
-    def __init__(self, tensor, *, split: Optional[ModeSplit] = None, cache: bool = True) -> None:
+    def __init__(
+        self,
+        tensor,
+        *,
+        split: Optional[ModeSplit] = None,
+        cache: bool = True,
+        invalidation: str = "exact",
+        residual_tol: float = 1e-2,
+    ) -> None:
         self._data = as_ndarray(tensor)
         if self._data.ndim < 2:
             raise ParameterError("DimensionTree requires a tensor with at least 2 modes")
+        if invalidation not in ("exact", "residual"):
+            raise ParameterError(
+                f"invalidation must be 'exact' or 'residual', got {invalidation!r}"
+            )
         self._n = self._data.ndim
         self._split = split if split is not None else split_half
         self._cache_enabled = bool(cache)
+        self._gate = FactorGate(
+            self._n, invalidation=invalidation, residual_tol=residual_tol
+        )
         self._parents = _build_parents(self._n, self._split)
         self._root_key = tuple(range(self._n))
-        self._factors: List[Optional[np.ndarray]] = [None] * self._n
-        self._versions = [0] * self._n
+        # Aliases of the gate's state: the gate mutates, the tree reads.
+        self._factors = self._gate.factors
+        self._versions = self._gate.versions
         #: node key -> (data, modes, has_rank, complement-version snapshot)
         self._cache: Dict[Tuple[int, ...], Tuple[np.ndarray, Tuple[int, ...], bool, Tuple[int, ...]]] = {}
         self.contractions = 0
@@ -237,15 +343,57 @@ class DimensionTree:
         """Words held by cached partials (the memory the tree trades for reuse)."""
         return sum(int(entry[0].size) for entry in self._cache.values())
 
-    def update_factor(self, mode: int, factor: np.ndarray) -> None:
-        """Explicitly register a factor replacement (identity detection also works)."""
-        mode = check_mode(mode, self._n)
-        self._factors[mode] = None if factor is None else np.asarray(factor)
-        self._versions[mode] += 1
+    @property
+    def gate(self) -> FactorGate:
+        """The tree's staleness gate (share it to co-invalidate other caches)."""
+        return self._gate
 
-    # -- the kernel ----------------------------------------------------------
-    def mttkrp(self, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.ndarray:
-        """MTTKRP for ``mode`` with the given factors, reusing valid partials."""
+    @property
+    def skipped_invalidations(self) -> int:
+        """Factor replacements absorbed by the residual gate (0 under exact)."""
+        return self._gate.skipped
+
+    def factor_version(self, mode: int) -> int:
+        """Invalidation version of factor ``mode`` (bumped on each invalidation).
+
+        Other per-factor caches (the fused kernel's sampler trees) key their
+        own staleness on this counter so the residual gate governs every
+        consumer of the shared cache at once.
+        """
+        return self._versions[check_mode(mode, self._n)]
+
+    def staleness_bound(self, mode: int) -> float:
+        """Accumulated relative drift of factor ``mode`` since its last invalidation.
+
+        Always ``0.0`` under ``invalidation="exact"``; under ``"residual"``
+        it is the triangle-inequality bound on how far the factor consumed by
+        the dependent cached partials has strayed from the current one
+        (at most ``residual_tol`` by construction).
+        """
+        return self._gate.drift[check_mode(mode, self._n)]
+
+    def update_factor(self, mode: int, factor: np.ndarray) -> None:
+        """Explicitly register a factor replacement (identity detection also works).
+
+        Unlike the implicit detection, passing the *same array object* here
+        still invalidates (``force``): an explicit call is the caller saying
+        the contents changed — e.g. after an in-place mutation the identity
+        check cannot see and the residual gate cannot measure.
+        """
+        mode = check_mode(mode, self._n)
+        self._gate.register(
+            mode, None if factor is None else np.asarray(factor), force=True
+        )
+
+    def register_factors(
+        self, factors: Sequence[Optional[np.ndarray]], mode: int
+    ) -> int:
+        """Validate the factor list for ``mode`` and sync the staleness state.
+
+        Shared entry point of :meth:`mttkrp` and the fused sampled kernel:
+        checks shapes, detects replaced factors by array identity, applies
+        the invalidation policy, and returns the rank.
+        """
         mode = check_mode(mode, self._n)
         if len(factors) != self._n:
             raise ParameterError(
@@ -265,10 +413,34 @@ class DimensionTree:
         for k in range(self._n):
             if k == mode:
                 continue
-            f = factors[k]
-            if f is not self._factors[k]:
-                self._factors[k] = f
-                self._versions[k] += 1
+            self._gate.register(k, factors[k])
+        return rank
+
+    def leaf_parent(self, mode: int) -> Tuple[int, ...]:
+        """Mode set of the parent node of leaf ``(mode,)`` (the root for ``N = 2``)."""
+        mode = check_mode(mode, self._n)
+        if self._n == 1:  # pragma: no cover - excluded by the constructor
+            raise ParameterError("a 1-mode tree has no leaf parents")
+        return self._parents[(mode,)]
+
+    def node_value(self, key: Tuple[int, ...]):
+        """Materialize (and cache) the partial at ``key``; charge any recomputation.
+
+        Returns ``(data, modes, has_rank)`` exactly as the internal walk
+        does; for the root this is the raw tensor with no rank axis.  The
+        node's complement factors must have been registered
+        (:meth:`register_factors` / :meth:`update_factor`) beforehand.
+        """
+        key = tuple(sorted(int(k) for k in key))
+        if key != self._root_key and key not in self._parents:
+            raise ParameterError(f"{key} is not a node of this dimension tree")
+        return self._value(key)
+
+    # -- the kernel ----------------------------------------------------------
+    def mttkrp(self, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.ndarray:
+        """MTTKRP for ``mode`` with the given factors, reusing valid partials."""
+        mode = check_mode(mode, self._n)
+        self.register_factors(factors, mode)
         value, _, _ = self._value((mode,))
         return np.ascontiguousarray(value).copy()
 
@@ -407,9 +579,18 @@ class DimensionTreeKernel(SweepKernel):
     baseline the benchmarks compare the tree against.
     """
 
-    def __init__(self, *, split: Optional[ModeSplit] = None, cache: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        split: Optional[ModeSplit] = None,
+        cache: bool = True,
+        invalidation: str = "exact",
+        residual_tol: float = 1e-2,
+    ) -> None:
         self._split = split
         self._cache = bool(cache)
+        self._invalidation = invalidation
+        self._residual_tol = float(residual_tol)
         self.tree: Optional[DimensionTree] = None
         self._sweep_marks: List[SweepCost] = []
 
@@ -427,7 +608,13 @@ class DimensionTreeKernel(SweepKernel):
     ) -> np.ndarray:
         data = as_ndarray(tensor)
         if self.tree is None or self.tree.tensor is not data:
-            self.tree = DimensionTree(data, split=self._split, cache=self._cache)
+            self.tree = DimensionTree(
+                data,
+                split=self._split,
+                cache=self._cache,
+                invalidation=self._invalidation,
+                residual_tol=self._residual_tol,
+            )
             # A rebuild starts a fresh counter stream: marks taken against the
             # previous tree's totals would otherwise make per-sweep deltas
             # negative.  Re-open the sweep the driver already announced at

@@ -16,6 +16,7 @@ of Algorithm 4).
 from __future__ import annotations
 
 import string
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 import numpy as np
@@ -33,9 +34,11 @@ MAX_MODES = len(string.ascii_lowercase) - 1
 #: greedy path search of ``optimize=True`` is pure Python and, inside ALS hot
 #: loops, was re-run on every MTTKRP call even though the operand shapes
 #: repeat identically sweep after sweep; the cache makes the search a
-#: once-per-problem cost.  Bounded to keep long multi-problem processes from
-#: accumulating paths without limit.
-_PATH_CACHE: dict = {}
+#: once-per-problem cost.  Bounded as an LRU (insertion order doubles as
+#: recency order: hits are moved to the end, overflow evicts the oldest
+#: entry) so a long multi-problem process sheds cold one-off shapes while
+#: the hot steady-state ALS paths survive.
+_PATH_CACHE: OrderedDict = OrderedDict()
 _PATH_CACHE_MAX_ENTRIES = 512
 
 
@@ -45,8 +48,10 @@ def _contraction_path(key, spec: str, operands) -> list:
     if path is None:
         path = np.einsum_path(spec, *operands, optimize=True)[0]
         if len(_PATH_CACHE) >= _PATH_CACHE_MAX_ENTRIES:
-            _PATH_CACHE.clear()
+            _PATH_CACHE.popitem(last=False)
         _PATH_CACHE[key] = path
+    else:
+        _PATH_CACHE.move_to_end(key)
     return path
 
 

@@ -1,0 +1,579 @@
+"""Fused sampled dimension tree: leverage draws served from cached partials.
+
+The two biggest measured speedups in this repository attack the same cost
+from opposite ends: the dimension-tree engine of :mod:`repro.core.dimtree`
+amortizes *exact* MTTKRPs by caching partial contractions across the ALS
+sweep (two full-tensor contractions per sweep instead of ``N``), while the
+sampled kernels of :mod:`repro.sketch` replace the full contraction by a
+sublinear-in-``J`` importance-sampling estimate — but gather their fibers
+from the *raw tensor* on every draw of every call.  This module fuses them:
+
+* **sampling the cached partials.**  For output mode ``n`` the kernel asks
+  the shared :class:`~repro.core.dimtree.DimensionTree` for the partial at
+  the *parent* of leaf ``(n,)`` — the tensor with every mode outside the
+  parent's mode set already contracted (and cached, and re-used across the
+  sweep).  Only the parent's remaining "free" modes ``F = parent \\ {n}``
+  are then estimated by importance sampling:
+
+      ``B_hat[i, r] = sum_m w_m * P[i, j_m, r] * prod_{k in F} A_k[j_m^k, r]``
+
+  with ``j_m`` drawn over the rows of the free-mode Khatri-Rao product and
+  ``w_m = count_m / (D p_m)`` the usual unbiased weights.  Marginalizing the
+  already-contracted modes exactly is a Rao-Blackwellization of the plain
+  sampled estimator: the expectation equals the dimension tree's exact
+  MTTKRP, the variance is carried by fewer sampled modes, and the raw tensor
+  is touched only by the (cached) root contractions — not per draw.
+
+* **serving the draws from cached partial Grams.**  The exact free-mode
+  leverage draws use the segment trees of partial Gram matrices from
+  :mod:`repro.sketch.treesample`; :class:`FusedSamplerCache` rebuilds a
+  factor's tree only when that factor's :class:`~repro.core.dimtree.FactorGate`
+  version changes, so the sampler and the dimension tree ride *one* shared
+  invalidation authority (residual gating holds both down together).
+
+With ``cache=False`` the kernel degenerates to the plain per-call sampled
+kernel (:func:`repro.sketch.sampled_mttkrp.sampled_mttkrp` on the raw
+tensor, same generator consumption — fits are bitwise those of the
+``"sampled"`` / ``"sampled-tree"`` registry kernels under the same seed),
+which doubles as the counted baseline the fused frontier compares against.
+
+Everything is counted as it executes (tree contractions via the
+``DimensionTree`` ledger; sampler builds, descents, and estimator work via
+the conventions documented on :class:`FusedSweepCost`), and
+:func:`repro.costmodel.fused_model.sampled_dimtree_sweep_cost` replays the
+same schedule symbolically so modelled == counted exactly, continuing the
+measured-vs-modelled discipline of PRs 2-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dimtree import DimensionTree, FactorGate, ModeSplit
+from repro.core.sweep_kernel import SweepKernel
+from repro.exceptions import ParameterError
+from repro.tensor.dense import as_ndarray
+from repro.utils.validation import check_positive_int
+
+#: Distributions the fused sampler cache can serve (a subset of
+#: :data:`repro.sketch.sampling.DISTRIBUTIONS`: the joint-materializing
+#: ``"leverage"`` strategy has no cacheable per-factor state and is exactly
+#: what the tree sampler replaces).
+FUSED_DISTRIBUTIONS = ("uniform", "product-leverage", "tree-leverage")
+
+
+@dataclass(frozen=True)
+class FusedSweepCost:
+    """Counted cost of fused sampled-dimtree work (one sweep or a running total).
+
+    Counting conventions (shared word for word with the symbolic replay in
+    :mod:`repro.costmodel.fused_model`):
+
+    * **tree maintenance** (``contractions`` / ``tree_flops`` / ``tree_words``
+      / ``root_reads``) — the :class:`~repro.core.dimtree.DimensionTree`
+      ledger of keeping the leaf-parent partials valid: ``2 T R`` flops and
+      ``(partial-in + factor + partial-out)`` words per single-mode
+      contraction, exactly as in the exact engine;
+    * **sampler builds** (``build_flops`` / ``build_words``) — per rebuilt
+      factor of extent ``I``: ``2 I R^2`` flops, and ``I R`` factor words
+      plus (tree-leverage only) ``2 I R^2`` written node Grams;
+    * **draws** (``draw_flops`` / ``draw_words``, tree-leverage only) — per
+      draw per free mode: one ``2 R^2 + R`` node-mass evaluation per descent
+      level plus the root and an ``R``-word conditioning update
+      (:meth:`repro.sketch.treesample.KRPTreeSampler.draw_flops`), reading
+      one ``R^2``-word node Gram per level;
+    * **estimator** (``eval_flops`` / ``eval_words``) — for ``U`` distinct
+      rows: ``(|F| - 1) U R`` Khatri-Rao Hadamards, ``U R`` weighting, and
+      the ``2 I_n U R`` rank-linked GEMM; words are the gathered partial
+      fibers (``U I_n R``, or ``U I_n`` when the parent is the root and no
+      rank axis exists), ``U |F| R`` factor rows, and the ``I_n R`` output.
+    """
+
+    contractions: int = 0
+    tree_flops: int = 0
+    tree_words: int = 0
+    root_reads: int = 0
+    build_flops: int = 0
+    build_words: int = 0
+    draw_flops: int = 0
+    draw_words: int = 0
+    eval_flops: int = 0
+    eval_words: int = 0
+    n_draws: int = 0
+    distinct_rows: int = 0
+
+    @property
+    def flops(self) -> int:
+        """Total counted arithmetic (tree + builds + draws + estimator)."""
+        return self.tree_flops + self.build_flops + self.draw_flops + self.eval_flops
+
+    @property
+    def words(self) -> int:
+        """Total counted data movement (tree + builds + draws + estimator)."""
+        return self.tree_words + self.build_words + self.draw_words + self.eval_words
+
+    def __sub__(self, other: "FusedSweepCost") -> "FusedSweepCost":
+        return FusedSweepCost(
+            **{
+                name: getattr(self, name) - getattr(other, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form including the flop/word totals (for JSON frontiers)."""
+        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        out["flops"] = self.flops
+        out["words"] = self.words
+        return out
+
+
+@dataclass(frozen=True)
+class FusedDrawRecord:
+    """One kernel invocation's draw, as the symbolic replay needs it.
+
+    Attributes
+    ----------
+    mode:
+        The output mode served.
+    free_modes:
+        The sampled (free) modes — the parent node's other modes.
+    n_draws:
+        Draws taken (with replacement).
+    n_distinct:
+        Distinct sampled free-KRP rows (the only data-dependent size).
+    """
+
+    mode: int
+    free_modes: Tuple[int, ...]
+    n_draws: int
+    n_distinct: int
+
+
+def fused_estimator_gemm(fibers: np.ndarray, weighted: np.ndarray) -> np.ndarray:
+    """The rank-linked estimator contraction ``sum_u fibers[i,u,r] weighted[u,r]``.
+
+    Like :func:`repro.sketch.sampled_mttkrp.estimator_gemm` this is evaluated
+    with a fixed einsum reduction so each output row depends only on its own
+    partial fiber — the distributed kernel's per-rank evaluation on an
+    output-mode-only grid is then bitwise identical to the sequential one.
+    """
+    return np.einsum("iur,ur->ir", fibers, weighted)
+
+
+def sampler_build_cost(extent: int, rank: int, distribution: str) -> Tuple[int, int]:
+    """(flops, words) of rebuilding one factor's cached sampling state.
+
+    ``2 I R^2`` flops for either the segment tree (leaf outer products plus
+    the up-sweep) or the leverage-score pass (Gram plus quadratic form); the
+    words are the streamed factor (``I R``) plus, for the tree, its
+    ``~2 I R^2`` written node Grams.  Uniform sampling keeps no state.
+    """
+    if distribution == "uniform":
+        return 0, 0
+    flops = 2 * int(extent) * rank * rank
+    words = int(extent) * rank
+    if distribution == "tree-leverage":
+        words += 2 * int(extent) * rank * rank
+    return flops, words
+
+
+def tree_draw_cost(
+    extents: Sequence[int], rank: int, n_draws: int
+) -> Tuple[int, int]:
+    """(flops, words) of ``n_draws`` segment-tree descents over ``extents``.
+
+    Matches :meth:`repro.sketch.treesample.KRPTreeSampler.draw_flops` exactly:
+    ``(levels + 1)`` node-mass evaluations of ``2 R^2 + R`` flops plus an
+    ``R``-flop conditioning update per mode per draw, reading one ``R^2``-word
+    node Gram per descent level.
+    """
+    from repro.sketch.treesample import tree_descent_levels
+
+    per_node = 2 * rank * rank + rank
+    flops_per_draw = 0
+    words_per_draw = 0
+    for extent in extents:
+        levels = tree_descent_levels(int(extent))
+        flops_per_draw += (levels + 1) * per_node + rank
+        words_per_draw += levels * rank * rank
+    return int(n_draws) * flops_per_draw, int(n_draws) * words_per_draw
+
+
+class FusedSamplerCache:
+    """Per-factor sampling state cached across mode updates and sweeps.
+
+    The second consumer of the shared :class:`~repro.core.dimtree.FactorGate`
+    versions: for each factor the cache holds a version-stamped snapshot and
+    its derived sampling state — a
+    :class:`~repro.sketch.treesample.GramSegmentTree` (``"tree-leverage"``)
+    or a normalized per-row leverage distribution (``"product-leverage"``) —
+    rebuilt only when the gate bumped that factor's version.  Draws and
+    importance probabilities are both produced from the *snapshot*, so a
+    residual-gated (stale) sampler still yields exactly self-consistent
+    importance weights: the estimator stays unbiased for whatever partials
+    it is paired with, only the variance reflects the drift.
+    """
+
+    def __init__(self, distribution: str = "tree-leverage") -> None:
+        if distribution not in FUSED_DISTRIBUTIONS:
+            raise ParameterError(
+                f"unknown fused sampling distribution {distribution!r}; "
+                f"use one of {FUSED_DISTRIBUTIONS}"
+            )
+        self.distribution = distribution
+        #: mode -> (gate version, factor snapshot, derived sampling state)
+        self._cache: Dict[int, Tuple[int, np.ndarray, object]] = {}
+        self.build_flops = 0
+        self.build_words = 0
+        self.draw_flops = 0
+        self.draw_words = 0
+        self.rebuilds = 0
+
+    def _refresh(self, k: int, factor: np.ndarray, version: int) -> None:
+        entry = self._cache.get(k)
+        if entry is not None and entry[0] == version:
+            return
+        snapshot = np.asarray(factor, dtype=np.float64)
+        rank = int(snapshot.shape[1])
+        state: object = None
+        if self.distribution == "tree-leverage":
+            from repro.sketch.treesample import GramSegmentTree
+
+            state = GramSegmentTree(snapshot)
+        elif self.distribution == "product-leverage":
+            from repro.sketch.sampling import factor_leverage_distribution
+
+            state = factor_leverage_distribution(snapshot)
+        flops, words = sampler_build_cost(snapshot.shape[0], rank, self.distribution)
+        self.build_flops += flops
+        self.build_words += words
+        self.rebuilds += 1
+        self._cache[k] = (version, snapshot, state)
+
+    def draw(
+        self,
+        factors: Sequence[Optional[np.ndarray]],
+        free_modes: Sequence[int],
+        mode: int,
+        n_draws: int,
+        rng: np.random.Generator,
+        versions: Sequence[int],
+    ):
+        """Draw ``n_draws`` free-KRP rows; return a deduplicated ``SampleSet``.
+
+        ``versions`` carries the gate version of each free factor, in
+        ``free_modes`` order; a mismatch with the cached stamp triggers a
+        rebuild from the *current* factor (counted).  Probabilities come from
+        the same cached snapshot the indices were drawn from.
+        """
+        from repro.sketch.sampling import SampleSet
+
+        free_modes = tuple(int(k) for k in free_modes)
+        if not free_modes:
+            raise ParameterError("fused sampling requires at least one free mode")
+        n_draws = check_positive_int(n_draws, "n_draws")
+        for k, version in zip(free_modes, versions):
+            self._refresh(k, factors[k], version)
+        snapshots = [self._cache[k][1] for k in free_modes]
+        dims = tuple(int(s.shape[0]) for s in snapshots)
+        rank = int(snapshots[0].shape[1])
+
+        if self.distribution == "tree-leverage":
+            from repro.sketch.treesample import KRPTreeSampler
+
+            sampler = KRPTreeSampler(
+                snapshots + [None],
+                len(free_modes),
+                trees=[self._cache[k][2] for k in free_modes],
+            )
+            drawn = sampler.draw_indices(n_draws, rng)
+            flops, words = tree_draw_cost(dims, rank, n_draws)
+            self.draw_flops += flops
+            self.draw_words += words
+        elif self.distribution == "product-leverage":
+            per_mode = [self._cache[k][2] for k in free_modes]
+            drawn = np.stack(
+                [rng.choice(dim, size=n_draws, p=p) for dim, p in zip(dims, per_mode)],
+                axis=1,
+            )
+        else:  # uniform
+            drawn = np.stack(
+                [rng.integers(0, dim, size=n_draws) for dim in dims], axis=1
+            )
+
+        keys = np.ravel_multi_index(
+            tuple(drawn[:, t] for t in range(len(free_modes))), dims, order="F"
+        )
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        indices = np.stack(
+            np.unravel_index(unique_keys, dims, order="F"), axis=1
+        ).astype(np.int64)
+
+        if self.distribution == "tree-leverage":
+            probabilities = sampler.row_probabilities(indices)
+        elif self.distribution == "product-leverage":
+            probabilities = np.ones(unique_keys.shape[0])
+            for t, p in enumerate(per_mode):
+                probabilities = probabilities * p[indices[:, t]]
+        else:
+            total = 1
+            for dim in dims:
+                total *= dim
+            probabilities = np.full(unique_keys.shape[0], 1.0 / total)
+
+        return SampleSet(
+            mode=mode,
+            modes=free_modes,
+            dims=dims,
+            n_draws=n_draws,
+            indices=indices,
+            counts=counts.astype(np.int64),
+            probabilities=probabilities,
+            distribution=self.distribution,
+        )
+
+
+class SampledDimtreeKernel(SweepKernel):
+    """Sweep-aware fused sampled MTTKRP kernel (registry name ``"sampled-dimtree"``).
+
+    Parameters
+    ----------
+    n_samples:
+        Draws per MTTKRP invocation (default
+        :func:`repro.sketch.sampled_mttkrp.default_sample_count`).
+    distribution:
+        Free-mode sampling distribution (:data:`FUSED_DISTRIBUTIONS`;
+        default ``"tree-leverage"`` — exact leverage over the free Khatri-Rao
+        product, served from the cached segment trees).
+    seed:
+        Seed or generator for all draws; a fixed seed makes the whole run
+        (draws included) reproducible, and the distributed kernel under the
+        same seed takes bitwise-identical draws.
+    split:
+        Tree split rule, forwarded to the :class:`DimensionTree`.
+    cache:
+        ``False`` degenerates to the plain per-call sampled kernel on the raw
+        tensor — under the same seed its generator consumption, draws, and
+        estimates are bitwise those of the registry kernels ``"sampled"``
+        (``distribution="product-leverage"``) / ``"sampled-tree"``
+        (``"tree-leverage"``), which makes it both the equivalence oracle and
+        the counted baseline of the fused frontier.
+    invalidation, residual_tol:
+        Forwarded to the shared :class:`~repro.core.dimtree.FactorGate`
+        (``"residual"`` keeps cached partials *and* cached sampler trees
+        while a factor's accumulated drift stays within tolerance).
+    """
+
+    def __init__(
+        self,
+        n_samples: Optional[int] = None,
+        *,
+        distribution: str = "tree-leverage",
+        seed=None,
+        split: Optional[ModeSplit] = None,
+        cache: bool = True,
+        invalidation: str = "exact",
+        residual_tol: float = 1e-2,
+    ) -> None:
+        from repro.sketch.sampling import _as_generator
+
+        if distribution not in FUSED_DISTRIBUTIONS:
+            raise ParameterError(
+                f"unknown fused sampling distribution {distribution!r}; "
+                f"use one of {FUSED_DISTRIBUTIONS}"
+            )
+        self._n_samples = n_samples
+        self._distribution = distribution
+        self._rng = _as_generator(seed)
+        self._split = split
+        self._cache = bool(cache)
+        self._invalidation = invalidation
+        self._residual_tol = float(residual_tol)
+        self.tree: Optional[DimensionTree] = None
+        self.samplers = FusedSamplerCache(distribution)
+        self.draw_log: List[FusedDrawRecord] = []
+        self._sweep_marks: List[FusedSweepCost] = []
+        self.eval_flops = 0
+        self.eval_words = 0
+        self.total_draws = 0
+        self.total_distinct = 0
+
+    # -- sweep protocol ------------------------------------------------------
+    def begin_sweep(self, iteration: int) -> None:
+        self._sweep_marks.append(self.counters())
+
+    def factor_updated(self, mode: int, factor: np.ndarray) -> None:
+        if self.tree is not None:
+            self.tree.update_factor(mode, factor)
+
+    # -- counters ------------------------------------------------------------
+    def counters(self) -> FusedSweepCost:
+        """Running totals of every counted cost component."""
+        tree = self.tree.counters() if self.tree is not None else None
+        return FusedSweepCost(
+            contractions=tree.contractions if tree else 0,
+            tree_flops=tree.flops if tree else 0,
+            tree_words=tree.words if tree else 0,
+            root_reads=tree.root_reads if tree else 0,
+            build_flops=self.samplers.build_flops,
+            build_words=self.samplers.build_words,
+            draw_flops=self.samplers.draw_flops,
+            draw_words=self.samplers.draw_words,
+            eval_flops=self.eval_flops,
+            eval_words=self.eval_words,
+            n_draws=self.total_draws,
+            distinct_rows=self.total_distinct,
+        )
+
+    def per_sweep_costs(self) -> List[FusedSweepCost]:
+        """Counted cost of each completed sweep (driver must call the hooks)."""
+        if not self._sweep_marks:
+            return []
+        marks = self._sweep_marks + [self.counters()]
+        return [later - earlier for earlier, later in zip(marks, marks[1:])]
+
+    # -- the kernel ----------------------------------------------------------
+    def _default_draws(self, rank: int) -> int:
+        from repro.sketch.sampled_mttkrp import default_sample_count
+
+        return (
+            default_sample_count(rank) if self._n_samples is None else self._n_samples
+        )
+
+    def _degenerate_mttkrp(self, data, factors, mode: int) -> np.ndarray:
+        """The ``cache=False`` path: the plain per-call sampled kernel, counted."""
+        from repro.sketch.sampled_mttkrp import sampled_mttkrp
+
+        rank = None
+        for k, f in enumerate(factors):
+            if k != mode and f is not None:
+                rank = int(np.asarray(f).shape[1])
+                break
+        if rank is None:
+            raise ParameterError("at least one input factor matrix is required")
+        n_draws = self._default_draws(rank)
+        report = sampled_mttkrp(
+            data,
+            factors,
+            mode,
+            n_samples=n_draws,
+            distribution=self._distribution,
+            seed=self._rng,
+            return_report=True,
+        )
+        free = tuple(k for k in range(data.ndim) if k != mode)
+        # The per-call kernel rebuilds every factor's sampling state and
+        # gathers raw (rank-free) fibers; count it under the shared
+        # conventions so the degenerate kernel is the fused frontier's
+        # baseline column.
+        for k in free:
+            flops, words = sampler_build_cost(
+                data.shape[k], rank, self._distribution
+            )
+            self.samplers.build_flops += flops
+            self.samplers.build_words += words
+            self.samplers.rebuilds += 1
+        if self._distribution == "tree-leverage":
+            flops, words = tree_draw_cost(
+                [data.shape[k] for k in free], rank, n_draws
+            )
+            self.samplers.draw_flops += flops
+            self.samplers.draw_words += words
+        self._count_eval(
+            data.shape[mode], rank, len(free), report.distinct_rows, has_rank=False
+        )
+        self.draw_log.append(
+            FusedDrawRecord(
+                mode=mode,
+                free_modes=free,
+                n_draws=n_draws,
+                n_distinct=report.distinct_rows,
+            )
+        )
+        self.total_draws += n_draws
+        self.total_distinct += report.distinct_rows
+        return report.result
+
+    def _count_eval(
+        self, out_extent: int, rank: int, n_free: int, distinct: int, *, has_rank: bool
+    ) -> None:
+        self.eval_flops += (
+            max(n_free - 1, 0) * distinct * rank
+            + distinct * rank
+            + 2 * out_extent * distinct * rank
+        )
+        self.eval_words += (
+            distinct * out_extent * (rank if has_rank else 1)
+            + distinct * n_free * rank
+            + out_extent * rank
+        )
+
+    def mttkrp(
+        self, tensor, factors: Sequence[Optional[np.ndarray]], mode: int
+    ) -> np.ndarray:
+        data = as_ndarray(tensor)
+        if not self._cache:
+            return self._degenerate_mttkrp(data, factors, mode)
+        if self.tree is None or self.tree.tensor is not data:
+            self.tree = DimensionTree(
+                data,
+                split=self._split,
+                invalidation=self._invalidation,
+                residual_tol=self._residual_tol,
+            )
+            self.samplers = FusedSamplerCache(self._distribution)
+            self.draw_log = []
+            # Mirror DimensionTreeKernel: a rebuild starts a fresh counter
+            # stream; re-open the already-announced sweep at zero.
+            self._sweep_marks = [FusedSweepCost()] if self._sweep_marks else []
+            self.eval_flops = 0
+            self.eval_words = 0
+            self.total_draws = 0
+            self.total_distinct = 0
+        rank = self.tree.register_factors(factors, mode)
+        n_draws = self._default_draws(rank)
+
+        parent = self.tree.leaf_parent(mode)
+        free = tuple(k for k in parent if k != mode)
+        if not free:  # pragma: no cover - parents always hold >= 2 modes
+            raise ParameterError("leaf parent holds no free modes")
+        data_p, modes_p, has_rank = self.tree.node_value(parent)
+
+        samples = self.samplers.draw(
+            factors,
+            free,
+            mode,
+            n_draws,
+            self._rng,
+            [self.tree.factor_version(k) for k in free],
+        )
+        krp_rows = samples.krp_rows(factors)
+        weighted = krp_rows * samples.weights[:, None]
+
+        axis = modes_p.index(mode)
+        moved = np.moveaxis(data_p, axis, 0)
+        picker = (slice(None),) + tuple(
+            samples.indices[:, t] for t in range(len(free))
+        )
+        fibers = moved[picker]
+        if has_rank:
+            result = fused_estimator_gemm(fibers, weighted)
+        else:
+            from repro.sketch.sampled_mttkrp import estimator_gemm
+
+            result = estimator_gemm(fibers, weighted)
+
+        distinct = samples.n_distinct
+        self._count_eval(data.shape[mode], rank, len(free), distinct, has_rank=has_rank)
+        self.draw_log.append(
+            FusedDrawRecord(
+                mode=mode, free_modes=free, n_draws=n_draws, n_distinct=distinct
+            )
+        )
+        self.total_draws += n_draws
+        self.total_distinct += distinct
+        return np.ascontiguousarray(result)

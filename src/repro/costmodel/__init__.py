@@ -30,6 +30,12 @@ from repro.costmodel.strong_scaling import (
     strong_scaling_series,
     StrongScalingPoint,
 )
+from repro.costmodel.fused_model import (
+    expected_distinct_rows,
+    sampled_dimtree_sweep_cost,
+    sampled_tree_sweep_cost,
+    three_way_crossover,
+)
 from repro.costmodel.dimtree_model import (
     dimtree_sweep_flops,
     dimtree_sweep_words,
@@ -64,4 +70,8 @@ __all__ = [
     "dimtree_sweep_speedup",
     "dimtree_crossover_rank",
     "dimtree_vs_independent",
+    "expected_distinct_rows",
+    "sampled_dimtree_sweep_cost",
+    "sampled_tree_sweep_cost",
+    "three_way_crossover",
 ]

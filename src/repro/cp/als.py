@@ -42,11 +42,13 @@ _KERNELS = {
     "matmul": lambda tensor, factors, mode: mttkrp_via_matmul(tensor, factors, mode),
 }
 
-#: Kernel names resolvable by :func:`cp_als` (``"sampled"`` and
-#: ``"sampled-tree"`` are registered lazily — see :func:`_resolve_kernel`;
-#: ``"dimtree"`` is the sweep-aware dimension-tree engine of
-#: :mod:`repro.core.dimtree`).
-KERNEL_NAMES = ("einsum", "matmul", "dimtree", "sampled", "sampled-tree")
+#: Kernel names resolvable by :func:`cp_als` (``"sampled"``, ``"sampled-tree"``
+#: and ``"sampled-dimtree"`` are registered lazily — see
+#: :func:`_resolve_kernel`; ``"dimtree"`` is the sweep-aware dimension-tree
+#: engine of :mod:`repro.core.dimtree`, ``"sampled-dimtree"`` the fused
+#: sampled engine of :mod:`repro.core.sampled_dimtree` that serves leverage
+#: draws from the tree's cached partial contractions).
+KERNEL_NAMES = ("einsum", "matmul", "dimtree", "sampled", "sampled-tree", "sampled-dimtree")
 
 
 @dataclass
@@ -79,9 +81,20 @@ class CPALSResult:
         return self.fits[-1] if self.fits else 0.0
 
 
+def _kernel_seed(
+    seed: Union[None, int, np.random.Generator],
+) -> Union[None, np.random.Generator, np.random.SeedSequence]:
+    """Independent stream for a sampled kernel's draws (not the init's bits)."""
+    if seed is None or isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.SeedSequence(seed).spawn(1)[0]
+
+
 def _resolve_kernel(
     kernel: Union[str, MTTKRPKernel, SweepKernel],
     seed: Union[None, int, np.random.Generator] = None,
+    invalidation: str = "exact",
+    invalidation_tol: float = 1e-2,
 ) -> SweepKernel:
     if isinstance(kernel, SweepKernel) or callable(kernel):
         return as_sweep_kernel(kernel)
@@ -89,7 +102,20 @@ def _resolve_kernel(
     if kernel == "dimtree":
         # A fresh engine per run: the tree binds to the run's tensor on the
         # first call and caches partial contractions across the whole run.
-        return DimensionTreeKernel()
+        return DimensionTreeKernel(
+            invalidation=invalidation, residual_tol=invalidation_tol
+        )
+    if kernel == "sampled-dimtree":
+        # The fused engine: leverage draws served from the dimension tree's
+        # cached partial contractions (lazy import for the same layering
+        # reason as the plain sampled kernels below).
+        from repro.core.sampled_dimtree import SampledDimtreeKernel
+
+        return SampledDimtreeKernel(
+            seed=_kernel_seed(seed),
+            invalidation=invalidation,
+            residual_tol=invalidation_tol,
+        )
     if kernel in ("sampled", "sampled-tree"):
         # Imported lazily: repro.sketch layers on this driver, so a module-level
         # import would be circular.  A fresh kernel is built per run so that an
@@ -100,14 +126,10 @@ def _resolve_kernel(
         # length-J vector).
         from repro.sketch.sampled_mttkrp import make_sampled_kernel
 
-        if seed is None or isinstance(seed, np.random.Generator):
-            kernel_seed = seed
-        else:
-            # Spawn an independent stream so the kernel's draws are not the
-            # same bit stream the random initialisation consumes.
-            kernel_seed = np.random.SeedSequence(seed).spawn(1)[0]
         distribution = "tree-leverage" if kernel == "sampled-tree" else "product-leverage"
-        return PerCallKernel(make_sampled_kernel(seed=kernel_seed, distribution=distribution))
+        return PerCallKernel(
+            make_sampled_kernel(seed=_kernel_seed(seed), distribution=distribution)
+        )
     return PerCallKernel(_KERNELS[kernel])
 
 
@@ -120,6 +142,8 @@ def cp_als(
     init: Union[str, Sequence[np.ndarray]] = "random",
     seed: Union[None, int, np.random.Generator] = None,
     kernel: Union[str, MTTKRPKernel] = "einsum",
+    invalidation: str = "exact",
+    invalidation_tol: float = 1e-2,
     warn_on_nonconvergence: bool = False,
 ) -> CPALSResult:
     """Fit a rank-``R`` CP decomposition with alternating least squares.
@@ -146,6 +170,14 @@ def cp_als(
         callable, or a :class:`~repro.core.sweep_kernel.SweepKernel`
         instance (the driver announces sweep starts and factor updates to
         sweep-aware kernels).
+    invalidation, invalidation_tol:
+        Cache-invalidation policy of the dimension-tree kernels
+        (``"dimtree"`` / ``"sampled-dimtree"``): the default ``"exact"``
+        invalidates dependent cached partials on every factor replacement;
+        ``"residual"`` keeps them while the factor's accumulated relative
+        drift stays within ``invalidation_tol`` (see
+        :class:`~repro.core.dimtree.FactorGate`).  Ignored by the per-call
+        kernels and by explicitly constructed kernel instances.
     warn_on_nonconvergence:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` when the loop
         exhausts ``n_iter_max`` without meeting ``tol``.
@@ -158,7 +190,7 @@ def cp_als(
     rank = check_rank(rank)
     if data.ndim < 2:
         raise ParameterError("CP-ALS requires a tensor with at least 2 modes")
-    sweep_kernel = _resolve_kernel(kernel, seed)
+    sweep_kernel = _resolve_kernel(kernel, seed, invalidation, invalidation_tol)
 
     if isinstance(init, str):
         factors = initialize_factors(data, rank, method=init, seed=seed)

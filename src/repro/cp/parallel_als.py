@@ -33,14 +33,17 @@ from repro.utils.validation import check_positive_int, check_rank
 #: kernel of :mod:`repro.parallel.dimtree` (gathers each factor once per
 #: update instead of once per mode, local trees reuse partial contractions),
 #: ``"sampled"`` the distributed sampled kernel of
-#: :mod:`repro.sketch.parallel` with a caller-chosen distribution, and
+#: :mod:`repro.sketch.parallel` with a caller-chosen distribution,
 #: ``"sampled-tree"`` the same kernel pinned to the segment-tree exact
 #: leverage sampler (``distribution="tree-leverage"``, Gram-All-Reduce-only
-#: setup).  The sketch subsystem is imported lazily — it layers on this
-#: driver, so a module-level import would be circular.  Name validation is
-#: shared with the sequential registry via
+#: setup), and ``"sampled-dimtree"`` the fused kernel of
+#: :mod:`repro.sketch.parallel.sampled_dimtree` (cached per-update factor
+#: All-Gathers plus a per-update Gram All-Reduce only; draws bitwise equal
+#: to the sequential fused kernel).  The sketch subsystem is imported lazily
+#: — it layers on this driver, so a module-level import would be circular.
+#: Name validation is shared with the sequential registry via
 #: :func:`repro.core.sweep_kernel.check_kernel_name`.
-PARALLEL_KERNEL_NAMES = ("exact", "dimtree", "sampled", "sampled-tree")
+PARALLEL_KERNEL_NAMES = ("exact", "dimtree", "sampled", "sampled-tree", "sampled-dimtree")
 
 
 class _SweepWordCounter(SweepKernel):
@@ -119,6 +122,8 @@ def parallel_cp_als(
     tol: float = 1e-7,
     seed: Union[None, int, np.random.Generator] = 0,
     init: Union[str, Sequence[np.ndarray]] = "random",
+    invalidation: str = "exact",
+    invalidation_tol: float = 1e-2,
 ) -> ParallelCPALSResult:
     """Run CP-ALS with every MTTKRP executed on the simulated parallel machine.
 
@@ -140,15 +145,25 @@ def parallel_cp_als(
         ``"sampled"``, or ``"sampled-tree"`` — the distributed sampled MTTKRP
         of :mod:`repro.sketch.parallel`, resampled on every invocation
         (requires ``algorithm="stationary"``; ``"sampled-tree"`` pins
-        ``sample_distribution="tree-leverage"``; see
+        ``sample_distribution="tree-leverage"``), or ``"sampled-dimtree"``
+        — the fused kernel of :mod:`repro.sketch.parallel.sampled_dimtree`
+        sampling each rank's cached dimension-tree partials (also
+        stationary-only; see
         :func:`repro.sketch.parallel.parallel_randomized_cp_als` for the full
         randomized driver with an exact-solve fallback).
     n_samples, sample_distribution:
         Draw count and sampling distribution for the sampled kernels
         (defaults mirror the sequential registry entry;
-        ``sample_distribution`` is ignored by ``kernel="sampled-tree"``).
+        ``sample_distribution`` is pinned to ``"tree-leverage"`` by the
+        tree-backed kernels ``"sampled-tree"`` and ``"sampled-dimtree"``).
     n_iter_max, tol, seed, init:
         Passed to the ALS driver.
+    invalidation, invalidation_tol:
+        Cache-invalidation policy of the dimension-tree kernels
+        (``"dimtree"`` / ``"sampled-dimtree"``), mirroring
+        :func:`repro.cp.als.cp_als`: ``"residual"`` gates re-gathers, Gram
+        All-Reduces, and cached partials on the factor's accumulated
+        relative drift instead of invalidating on every replacement.
 
     Returns
     -------
@@ -161,11 +176,16 @@ def parallel_cp_als(
         raise ParameterError("algorithm must be 'stationary' or 'general'")
     check_kernel_name(kernel, PARALLEL_KERNEL_NAMES, registry="parallel", allow_callable=False)
     sampled = kernel in ("sampled", "sampled-tree")
-    if kernel in ("sampled", "sampled-tree", "dimtree") and algorithm != "stationary":
+    fused = kernel == "sampled-dimtree"
+    if kernel != "exact" and algorithm != "stationary":
         raise ParameterError(
             f"kernel={kernel!r} runs on the stationary distribution; use algorithm='stationary'"
         )
-    if kernel == "sampled-tree":
+    if kernel in ("sampled-tree", "sampled-dimtree"):
+        # Both tree-backed kernels pin the draw distribution: exact leverage
+        # via cached segment trees, matching the sequential registry entry
+        # (construct DistributedSampledDimtreeKernel directly for the other
+        # fused distributions).
         sample_distribution = "tree-leverage"
 
     machine = SimulatedMachine(n_procs)
@@ -178,10 +198,11 @@ def parallel_cp_als(
 
     sampled_mttkrp_parallel = None
     sample_rng: Union[None, np.random.SeedSequence, np.random.Generator] = None
-    if sampled:
-        from repro.sketch.parallel.sampled_mttkrp import parallel_sampled_mttkrp
+    if sampled or fused:
+        if sampled:
+            from repro.sketch.parallel.sampled_mttkrp import parallel_sampled_mttkrp
 
-        sampled_mttkrp_parallel = parallel_sampled_mttkrp
+            sampled_mttkrp_parallel = parallel_sampled_mttkrp
         if isinstance(seed, np.random.Generator):
             sample_rng = seed
         elif seed is None:
@@ -196,7 +217,28 @@ def parallel_cp_als(
 
     inner: SweepKernel
     if kernel == "dimtree":
-        inner = DistributedDimtreeKernel(grid, machine=machine)
+        inner = DistributedDimtreeKernel(
+            grid,
+            machine=machine,
+            invalidation=invalidation,
+            residual_tol=invalidation_tol,
+        )
+    elif fused:
+        # Lazy import, like the sampled kernels: the fused distributed kernel
+        # lives in the sketch subsystem, which layers on this driver.
+        from repro.sketch.parallel.sampled_dimtree import (
+            DistributedSampledDimtreeKernel,
+        )
+
+        inner = DistributedSampledDimtreeKernel(
+            grid,
+            machine=machine,
+            n_samples=n_samples,
+            distribution=sample_distribution,
+            seed=sample_rng,
+            invalidation=invalidation,
+            residual_tol=invalidation_tol,
+        )
     elif sampled:
 
         def sampled_kernel(local_tensor, factors, mode):

@@ -41,7 +41,12 @@ DEFAULT_SHAPE = (24, 20, 16)
 DEFAULT_RANK = 6
 DEFAULT_MODE = 0
 DEFAULT_COHERENCE = 10.0
-DEFAULT_PROCESSOR_COUNTS = (4, 8, 12)
+#: The strong-scaling axis: the toy counts (4-12) where the output
+#: Reduce-Scatter dominates every point, extended (24, 48 — the PR-2
+#: follow-up) into the regime where the per-rank output piece has shrunk
+#: and the draw-dependent sampled-row All-Gathers take over the kernel
+#: phase.
+DEFAULT_PROCESSOR_COUNTS = (4, 8, 12, 24, 48)
 DEFAULT_DRAW_COUNTS = (8, 32, 128)
 #: Strategies swept per (P, draws) point: the three leverage-family setups —
 #: score-gather ("product-leverage"), full factor gather ("leverage"), and

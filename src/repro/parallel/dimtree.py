@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.dimtree import DimensionTree, ModeSplit
+from repro.core.dimtree import DimensionTree, FactorGate, ModeSplit
 from repro.core.sweep_kernel import SweepKernel
 from repro.exceptions import DistributionError
 from repro.parallel.collectives import all_gather, reduce_scatter
@@ -69,6 +69,15 @@ class DistributedDimtreeKernel(SweepKernel):
         communication; a fresh one is created otherwise.
     split:
         Split rule forwarded to every rank's :class:`DimensionTree`.
+    invalidation, residual_tol:
+        Staleness policy of the kernel-level
+        :class:`~repro.core.dimtree.FactorGate` that governs the gather
+        cache: ``"residual"`` skips the re-gather (and hence every
+        dependent rank's tree invalidation, which follows the gathered
+        blocks' identity) while a factor's accumulated relative drift stays
+        within tolerance.  The default ``"exact"`` reproduces plain array
+        identity, so the ledger still matches
+        :func:`predicted_dimtree_ledger` word for word.
     """
 
     def __init__(
@@ -77,6 +86,8 @@ class DistributedDimtreeKernel(SweepKernel):
         *,
         machine: Optional[SimulatedMachine] = None,
         split: Optional[ModeSplit] = None,
+        invalidation: str = "exact",
+        residual_tol: float = 1e-2,
     ) -> None:
         self.grid = ProcessorGrid(grid_dims)
         if machine is None:
@@ -88,12 +99,15 @@ class DistributedDimtreeKernel(SweepKernel):
             )
         self.machine = machine
         self._split = split
+        self._invalidation = invalidation
+        self._residual_tol = float(residual_tol)
+        self.gate: Optional[FactorGate] = None
         self.dist: Optional[StationaryDistribution] = None
         self._tensor: Optional[np.ndarray] = None
         self._trees: Dict[int, DimensionTree] = {}
         self._tensor_blocks = None
         self._gathered: Dict[int, Dict[int, np.ndarray]] = {}
-        self._gathered_src: Dict[int, object] = {}
+        self._gathered_version: Dict[int, int] = {}
 
     def _ensure_setup(self, data: np.ndarray, rank: int) -> None:
         if self.dist is not None:
@@ -101,7 +115,7 @@ class DistributedDimtreeKernel(SweepKernel):
                 return
             # New problem: rebuild the distribution, trees, and gather cache.
             self._gathered.clear()
-            self._gathered_src.clear()
+            self._gathered_version.clear()
         if len(self.grid.dims) != data.ndim:
             raise DistributionError(
                 f"grid must have one dimension per tensor mode: got "
@@ -114,6 +128,11 @@ class DistributedDimtreeKernel(SweepKernel):
             r: DimensionTree(self._tensor_blocks[r].data, split=self._split)
             for r in range(self.grid.n_procs)
         }
+        self.gate = FactorGate(
+            data.ndim,
+            invalidation=self._invalidation,
+            residual_tol=self._residual_tol,
+        )
 
     def _gather_factor(self, k: int, factor: np.ndarray) -> None:
         """All-Gather factor ``k``'s block rows within each mode-``k`` hyperslice."""
@@ -147,14 +166,15 @@ class DistributedDimtreeKernel(SweepKernel):
             raise DistributionError("at least one input factor matrix is required")
         self._ensure_setup(data, rank)
 
-        # -- re-gather only the factors the driver has replaced.
+        # -- re-gather only the factors the gate declares stale (under the
+        #    default exact policy: exactly the ones the driver has replaced).
         for k in range(data.ndim):
             if k == mode:
                 continue
-            f = factors[k]
-            if self._gathered_src.get(k) is not f:
-                self._gather_factor(k, np.asarray(f))
-                self._gathered_src[k] = f
+            self.gate.register(k, factors[k])
+            if self._gathered_version.get(k) != self.gate.versions[k]:
+                self._gather_factor(k, np.asarray(factors[k]))
+                self._gathered_version[k] = self.gate.versions[k]
 
         # -- local dimension-tree MTTKRP on every rank (counted flops).
         local_outputs: Dict[int, np.ndarray] = {}

@@ -82,6 +82,7 @@ from repro.sketch.costmodel import (
 )
 from repro.sketch.randomized_als import RandomizedCPALSResult, randomized_cp_als
 from repro.sketch.parallel import (
+    DistributedSampledDimtreeKernel,
     ParallelRandomizedCPALSResult,
     ParallelSampledMTTKRPResult,
     ReconciledSampledRun,
@@ -89,6 +90,8 @@ from repro.sketch.parallel import (
     choose_sampled_grid,
     parallel_randomized_cp_als,
     parallel_sampled_mttkrp,
+    predicted_sampled_dimtree_ledger,
+    predicted_sampled_dimtree_sweep_words,
     predicted_sampled_ledger,
     reconcile_sampled_mttkrp,
 )
@@ -143,4 +146,7 @@ __all__ = [
     "parallel_sampled_mttkrp",
     "predicted_sampled_ledger",
     "reconcile_sampled_mttkrp",
+    "DistributedSampledDimtreeKernel",
+    "predicted_sampled_dimtree_ledger",
+    "predicted_sampled_dimtree_sweep_words",
 ]

@@ -43,6 +43,11 @@ from repro.sketch.parallel.reconcile import (
     predicted_sampled_ledger,
     reconcile_sampled_mttkrp,
 )
+from repro.sketch.parallel.sampled_dimtree import (
+    DistributedSampledDimtreeKernel,
+    predicted_sampled_dimtree_ledger,
+    predicted_sampled_dimtree_sweep_words,
+)
 
 __all__ = [
     "SampleAssignment",
@@ -57,4 +62,7 @@ __all__ = [
     "ReconciledSampledRun",
     "predicted_sampled_ledger",
     "reconcile_sampled_mttkrp",
+    "DistributedSampledDimtreeKernel",
+    "predicted_sampled_dimtree_ledger",
+    "predicted_sampled_dimtree_sweep_words",
 ]

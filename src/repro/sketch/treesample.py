@@ -189,7 +189,13 @@ class KRPTreeSampler:
         ``rank(Z)`` in exact arithmetic).
     """
 
-    def __init__(self, factors: Sequence[Optional[np.ndarray]], mode: int) -> None:
+    def __init__(
+        self,
+        factors: Sequence[Optional[np.ndarray]],
+        mode: int,
+        *,
+        trees: Optional[Sequence[GramSegmentTree]] = None,
+    ) -> None:
         mode = check_mode(mode, len(factors))
         self.mode = mode
         self.modes = tuple(k for k in range(len(factors)) if k != mode)
@@ -204,7 +210,26 @@ class KRPTreeSampler:
                 )
         self.rank = int(rank)
         self.dims = tuple(int(f.shape[0]) for f in self.factors)
-        self.grams = [f.T @ f for f in self.factors]
+        if trees is not None:
+            # Pre-built (cached) per-factor segment trees: the fused
+            # sampled-dimtree kernel rebuilds a factor's tree only when that
+            # factor is replaced, so repeated samplers over the same factors
+            # skip both the tree build and the Gram products (the root node
+            # of each tree *is* the factor Gram, summed leaf outer products).
+            trees = list(trees)
+            if len(trees) != len(self.modes):
+                raise ParameterError(
+                    f"expected {len(self.modes)} cached trees, got {len(trees)}"
+                )
+            for k, f, tree in zip(self.modes, self.factors, trees):
+                if tree.n_rows != f.shape[0] or tree.rank != self.rank:
+                    raise ParameterError(
+                        f"cached tree for factor {k} has shape "
+                        f"({tree.n_rows}, {tree.rank}), expected {f.shape}"
+                    )
+            self.grams = [tree.root_gram for tree in trees]
+        else:
+            self.grams = [f.T @ f for f in self.factors]
         gram = np.ones((rank, rank))
         for g in self.grams:
             gram = gram * g
@@ -221,7 +246,9 @@ class KRPTreeSampler:
         for t in range(len(self.modes) - 1, -1, -1):
             self._weights[t] = self.gram_pinv * suffix
             suffix = suffix * self.grams[t]
-        self.trees = [GramSegmentTree(f) for f in self.factors]
+        self.trees = (
+            trees if trees is not None else [GramSegmentTree(f) for f in self.factors]
+        )
 
     def conditional_weight(self, position: int) -> np.ndarray:
         """The weight matrix ``W_t`` of the ``position``-th conditional draw."""

@@ -168,3 +168,29 @@ class TestContractionPathCache:
                 assert np.allclose(
                     mttkrp(tensor, factors, mode), mttkrp_reference(tensor, factors, mode)
                 )
+
+    def test_lru_eviction_keeps_hot_entry(self):
+        """Overflow evicts the oldest entry, not the whole cache.
+
+        Regression test for the original ``.clear()`` eviction: a hot
+        steady-state key, re-touched between cold insertions, must survive
+        ``_PATH_CACHE_MAX_ENTRIES`` insertions of cold one-off keys.
+        """
+        from repro.core.kernels import _PATH_CACHE_MAX_ENTRIES, _contraction_path
+
+        _PATH_CACHE.clear()
+        tensor, factors = problem((4, 5, 6), 3, seed=13)
+        hot = mttkrp(tensor, factors, 0)
+        hot_key = ((4, 5, 6), 0, 3)
+        assert hot_key in _PATH_CACHE
+        operands = (np.zeros((2, 3)), np.zeros((3, 2)))
+        for i in range(_PATH_CACHE_MAX_ENTRIES):
+            # re-touch the hot path, then insert one cold key
+            assert np.array_equal(mttkrp(tensor, factors, 0), hot)
+            _contraction_path(("cold", i), "ab,bc->ac", operands)
+        assert hot_key in _PATH_CACHE
+        assert len(_PATH_CACHE) <= _PATH_CACHE_MAX_ENTRIES
+        # the earliest cold keys were evicted one at a time, not wholesale
+        assert ("cold", 0) not in _PATH_CACHE
+        assert ("cold", _PATH_CACHE_MAX_ENTRIES - 1) in _PATH_CACHE
+        _PATH_CACHE.clear()

@@ -1,0 +1,164 @@
+"""Tests for the distributed fused sampled-dimtree kernel and its predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampled_dimtree import SampledDimtreeKernel
+from repro.cp.als import cp_als
+from repro.cp.parallel_als import PARALLEL_KERNEL_NAMES, parallel_cp_als
+from repro.exceptions import ParameterError
+from repro.parallel.dimtree import predicted_dimtree_ledger
+from repro.sketch.parallel.sampled_dimtree import (
+    GATHER_LABEL,
+    GRAM_LABEL,
+    DistributedSampledDimtreeKernel,
+    predicted_sampled_dimtree_ledger,
+    predicted_sampled_dimtree_sweep_words,
+)
+from repro.tensor.random import noisy_low_rank_tensor
+
+SWEEPS = 4
+
+CASES = [
+    ((12, 10, 8), 3, 8, 32),
+    ((16, 16, 16), 4, 8, 128),
+    ((6, 5, 4, 5), 2, 6, 16),
+]
+
+
+class TestLedgerReconciliation:
+    @pytest.mark.parametrize("shape,rank,n_procs,draws", CASES)
+    def test_ledger_equals_predictor_word_for_word(self, shape, rank, n_procs, draws):
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=0)
+        run = parallel_cp_als(
+            tensor,
+            rank,
+            n_procs,
+            kernel="sampled-dimtree",
+            n_samples=draws,
+            n_iter_max=SWEEPS,
+            tol=0.0,
+            seed=5,
+        )
+        predicted = predicted_sampled_dimtree_ledger(shape, rank, run.grids[0], SWEEPS)
+        assert np.array_equal(run.machine.words_sent, predicted)
+        assert np.array_equal(run.machine.words_received, predicted)
+
+    def test_ledger_is_draw_independent(self):
+        """Fibers and partials are local, so draw count never moves a word."""
+        shape, rank, n_procs = (12, 10, 8), 3, 8
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=0)
+        words = []
+        for draws in (4, 64):
+            run = parallel_cp_als(
+                tensor, rank, n_procs, kernel="sampled-dimtree", n_samples=draws,
+                n_iter_max=2, tol=0.0, seed=5,
+            )
+            words.append(run.total_words)
+        assert words[0] == words[1]
+
+    def test_predictor_is_dimtree_plus_gram_allreduce(self):
+        """The fused ledger is the exact dimtree ledger plus one global
+        R x R Gram All-Reduce per gather event."""
+        shape, rank, grid = (12, 10, 8), 3, (2, 2, 2)
+        fused = predicted_sampled_dimtree_ledger(shape, rank, grid, SWEEPS)
+        plain = predicted_dimtree_ledger(shape, rank, grid, SWEEPS)
+        extra = fused - plain
+        assert np.all(extra > 0)
+        # every rank pays the same Gram All-Reduce cost at every event
+        assert len(set(extra.tolist())) == 1
+
+    def test_sweep_words_helper_positive_and_consistent(self):
+        shape, rank, grid = (12, 10, 8), 3, (2, 2, 2)
+        steady = predicted_sampled_dimtree_sweep_words(shape, rank, grid)
+        three = predicted_sampled_dimtree_ledger(shape, rank, grid, 3)
+        two = predicted_sampled_dimtree_ledger(shape, rank, grid, 2)
+        assert steady == int((three - two).max())
+        assert steady > 0
+
+    def test_phase_labels_present(self):
+        shape, rank, n_procs = (6, 5, 4), 2, 4
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=0)
+        run = parallel_cp_als(
+            tensor, rank, n_procs, kernel="sampled-dimtree", n_samples=8,
+            n_iter_max=2, tol=0.0, seed=5,
+        )
+        labels = [record.label for record in run.machine.records]
+        assert any(label.startswith(GATHER_LABEL) for label in labels)
+        assert any(label.startswith(GRAM_LABEL) for label in labels)
+
+
+class TestSequentialEquivalence:
+    def test_draws_bitwise_equal_to_sequential(self):
+        shape, rank, draws = (12, 10, 8), 3, 16
+        from repro.tensor.dense import as_ndarray
+
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=0)
+        data = as_ndarray(tensor)
+        seq = SampledDimtreeKernel(n_samples=draws, seed=7)
+        par = DistributedSampledDimtreeKernel((4, 1, 1), n_samples=draws, seed=7)
+        rng = np.random.default_rng(0)
+        factors = [rng.standard_normal((s, rank)) for s in shape]
+        for _ in range(3):
+            for mode in range(3):
+                a = seq.mttkrp(data, factors, mode)
+                b = par.mttkrp(data, factors, mode)
+                if mode == 0:
+                    # the grid splits only mode 0: its output evaluation is
+                    # row-partitioned, hence bitwise equal to sequential
+                    assert np.array_equal(a, b)
+                else:
+                    assert np.allclose(a, b, atol=1e-12)
+                new = rng.standard_normal(factors[mode].shape)
+                factors[mode] = new
+                seq.factor_updated(mode, new)
+                par.factor_updated(mode, new)
+        # identical draw schedule and identical generator consumption
+        assert [(r.mode, r.free_modes, r.n_draws, r.n_distinct) for r in seq.draw_log] == par.draw_log
+        assert (
+            seq._rng.bit_generator.state == par._rng.bit_generator.state
+        )
+
+    @pytest.mark.parametrize("shape,rank,n_procs,draws", CASES)
+    def test_fits_match_sequential_1e10(self, shape, rank, n_procs, draws):
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.02, seed=0)
+        par = parallel_cp_als(
+            tensor, rank, n_procs, kernel="sampled-dimtree", n_samples=draws,
+            n_iter_max=SWEEPS, tol=0.0, seed=5,
+        )
+        seq_kernel = SampledDimtreeKernel(
+            n_samples=draws,
+            seed=np.random.default_rng(np.random.SeedSequence(5).spawn(1)[0]),
+        )
+        seq = cp_als(
+            tensor, rank, n_iter_max=SWEEPS, tol=0.0, seed=5, kernel=seq_kernel
+        )
+        gap = max(abs(a - b) for a, b in zip(seq.fits, par.als.fits))
+        assert gap <= 1e-10
+
+
+class TestDriverIntegration:
+    def test_registered_in_parallel_registry(self):
+        assert "sampled-dimtree" in PARALLEL_KERNEL_NAMES
+
+    def test_requires_stationary_algorithm(self):
+        tensor = noisy_low_rank_tensor((6, 5, 4), 2, noise_level=0.02, seed=0)
+        with pytest.raises(ParameterError):
+            parallel_cp_als(
+                tensor, 2, 4, kernel="sampled-dimtree", algorithm="general"
+            )
+
+    def test_residual_gating_reduces_communication(self):
+        """Residual-gated gathers move strictly fewer words than the exact
+        predictor on a converging run."""
+        shape, rank, n_procs = (16, 16, 16), 4, 8
+        tensor = noisy_low_rank_tensor(shape, rank, noise_level=0.01, seed=0)
+        gated = parallel_cp_als(
+            tensor, rank, n_procs, kernel="dimtree", n_iter_max=16, tol=0.0,
+            seed=1, invalidation="residual", invalidation_tol=1e-2,
+        )
+        exact = parallel_cp_als(
+            tensor, rank, n_procs, kernel="dimtree", n_iter_max=16, tol=0.0, seed=1,
+        )
+        assert gated.total_words < exact.total_words
+        assert abs(gated.als.final_fit - exact.als.final_fit) <= 1e-2

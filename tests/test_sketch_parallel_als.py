@@ -91,7 +91,13 @@ class TestParallelRandomizedCPALS:
 
 class TestParallelKernelRegistry:
     def test_registry_names(self):
-        assert PARALLEL_KERNEL_NAMES == ("exact", "dimtree", "sampled", "sampled-tree")
+        assert PARALLEL_KERNEL_NAMES == (
+            "exact",
+            "dimtree",
+            "sampled",
+            "sampled-tree",
+            "sampled-dimtree",
+        )
 
     def test_sampled_kernel_runs(self, tensor):
         result = parallel_cp_als(
