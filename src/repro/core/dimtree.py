@@ -42,6 +42,7 @@ import numpy as np
 from repro.core.multi_mode import contract_mode_step
 from repro.core.sweep_kernel import SweepKernel
 from repro.exceptions import ParameterError
+from repro.observe.instrument import add_cost, inc as observe_inc
 from repro.tensor.dense import as_ndarray
 from repro.utils.validation import check_factor_matrices, check_mode, check_rank, check_shape
 
@@ -210,6 +211,7 @@ class FactorGate:
                 return False
             self.versions[mode] += 1
             self.drift[mode] = 0.0
+            observe_inc("factor_gate.invalidate")
             return True
         self.factors[mode] = factor
         new_arr = None if factor is None else np.asarray(factor)
@@ -227,9 +229,11 @@ class FactorGate:
             self.drift[mode] += delta
             if self.drift[mode] <= self.residual_tol:
                 self.skipped += 1
+                observe_inc("factor_gate.keep")
                 return False
         self.versions[mode] += 1
         self.drift[mode] = 0.0
+        observe_inc("factor_gate.invalidate")
         return True
 
 
@@ -452,7 +456,9 @@ class DimensionTree:
         versions = tuple(self._versions[k] for k in complement)
         entry = self._cache.get(key)
         if entry is not None and entry[3] == versions:
+            observe_inc("dimtree.partial.hit")
             return entry[0], entry[1], entry[2]
+        observe_inc("dimtree.partial.stale" if entry is not None else "dimtree.partial.miss")
         parent_key = self._parents[key]
         data, modes_tuple, has_rank = self._value(parent_key)
         modes = list(modes_tuple)
@@ -475,6 +481,7 @@ class DimensionTree:
         self.contractions += 1
         self.flops += flops
         self.words += words
+        add_cost(flops=flops, words=words)
         modes = modes[:axis] + modes[axis + 1 :]
         return out, modes, True
 
@@ -483,38 +490,30 @@ class DimensionTree:
 # symbolic replay: the exact cost model of one ALS sweep
 # ---------------------------------------------------------------------------
 
-def dimtree_sweep_cost(
+def dimtree_sweep_cost_sequence(
     shape: Sequence[int],
     rank: int,
+    n_sweeps: int,
     *,
     split: Optional[ModeSplit] = None,
     cache: bool = True,
-    first_sweep: bool = False,
-) -> SweepCost:
-    """Counted cost of one ALS sweep of the dimension-tree engine, replayed.
+) -> List[SweepCost]:
+    """Per-sweep counted costs of the first ``n_sweeps`` ALS sweeps, replayed.
 
     Replays the caching/invalidation schedule of :class:`DimensionTree` under
     the ALS update order (mode ``0..N-1``, factor replaced after each solve)
     *symbolically* — same tree, same lazy recomputation, same per-step cost
-    formulas — so the result equals the engine's counted ledger exactly.
-
-    Parameters
-    ----------
-    shape, rank:
-        Problem dimensions.
-    split:
-        Tree split rule (default :func:`split_half`).
-    cache:
-        ``False`` replays the cache-disabled engine: ``N`` independent
-        root-to-leaf chains, the per-mode-kernel baseline.
-    first_sweep:
-        Return the cold-cache first sweep instead of the steady state (they
-        coincide for the default half split; an adversarial split can make
-        the first sweep cheaper because late-sweep invalidations have not
-        happened yet).
+    formulas — and snapshots the ledger at every sweep boundary, so entry
+    ``i`` equals the engine's counted ledger of sweep ``i`` exactly,
+    including the cold-cache first sweep and any schedule transient.  This
+    per-sweep form is what the runtime drift detector
+    (:func:`repro.observe.drift.dimtree_drift`) holds traced spans against.
     """
     shape = check_shape(shape, min_ndim=2)
     rank = check_rank(rank)
+    n_sweeps = int(n_sweeps)
+    if n_sweeps < 1:
+        raise ParameterError(f"n_sweeps must be at least 1, got {n_sweeps}")
     n_modes = len(shape)
     split = split if split is not None else split_half
     parents = _build_parents(n_modes, split)
@@ -551,14 +550,48 @@ def dimtree_sweep_cost(
         if cache:
             cached[key] = snapshot
 
-    n_sweeps = 1 if first_sweep else _STEADY_SWEEPS
-    for sweep in range(n_sweeps):
-        if sweep == n_sweeps - 1:
-            cost = {"contractions": 0, "flops": 0, "words": 0, "root_reads": 0}
+    per_sweep: List[SweepCost] = []
+    for _ in range(n_sweeps):
+        for name in cost:
+            cost[name] = 0
         for mode in range(n_modes):
             node_cost((mode,))
             versions[mode] += 1
-    return SweepCost(**cost)
+        per_sweep.append(SweepCost(**cost))
+    return per_sweep
+
+
+def dimtree_sweep_cost(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    split: Optional[ModeSplit] = None,
+    cache: bool = True,
+    first_sweep: bool = False,
+) -> SweepCost:
+    """Counted cost of one ALS sweep of the dimension-tree engine, replayed.
+
+    The single-sweep view of :func:`dimtree_sweep_cost_sequence`.
+
+    Parameters
+    ----------
+    shape, rank:
+        Problem dimensions.
+    split:
+        Tree split rule (default :func:`split_half`).
+    cache:
+        ``False`` replays the cache-disabled engine: ``N`` independent
+        root-to-leaf chains, the per-mode-kernel baseline.
+    first_sweep:
+        Return the cold-cache first sweep instead of the steady state (they
+        coincide for the default half split; an adversarial split can make
+        the first sweep cheaper because late-sweep invalidations have not
+        happened yet).
+    """
+    n_sweeps = 1 if first_sweep else _STEADY_SWEEPS
+    return dimtree_sweep_cost_sequence(
+        shape, rank, n_sweeps, split=split, cache=cache
+    )[-1]
 
 
 # ---------------------------------------------------------------------------

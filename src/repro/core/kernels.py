@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.observe.instrument import inc as observe_inc
 from repro.tensor.dense import as_ndarray
 from repro.utils.validation import check_factor_matrices, check_mode
 
@@ -46,11 +47,13 @@ def _contraction_path(key, spec: str, operands) -> list:
     """The cached einsum path for ``spec`` over ``operands`` (see ``_PATH_CACHE``)."""
     path = _PATH_CACHE.get(key)
     if path is None:
+        observe_inc("path_cache.miss")
         path = np.einsum_path(spec, *operands, optimize=True)[0]
         if len(_PATH_CACHE) >= _PATH_CACHE_MAX_ENTRIES:
             _PATH_CACHE.popitem(last=False)
         _PATH_CACHE[key] = path
     else:
+        observe_inc("path_cache.hit")
         _PATH_CACHE.move_to_end(key)
     return path
 

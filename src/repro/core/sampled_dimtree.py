@@ -55,6 +55,7 @@ import numpy as np
 from repro.core.dimtree import DimensionTree, FactorGate, ModeSplit
 from repro.core.sweep_kernel import SweepKernel
 from repro.exceptions import ParameterError
+from repro.observe.instrument import add_cost, annotate, inc as observe_inc
 from repro.tensor.dense import as_ndarray
 from repro.utils.validation import check_positive_int
 
@@ -236,6 +237,7 @@ class FusedSamplerCache:
     def _refresh(self, k: int, factor: np.ndarray, version: int) -> None:
         entry = self._cache.get(k)
         if entry is not None and entry[0] == version:
+            observe_inc("sampler_cache.hit")
             return
         snapshot = np.asarray(factor, dtype=np.float64)
         rank = int(snapshot.shape[1])
@@ -252,6 +254,8 @@ class FusedSamplerCache:
         self.build_flops += flops
         self.build_words += words
         self.rebuilds += 1
+        observe_inc("sampler_cache.rebuild")
+        add_cost(flops=flops, words=words)
         self._cache[k] = (version, snapshot, state)
 
     def draw(
@@ -294,6 +298,7 @@ class FusedSamplerCache:
             flops, words = tree_draw_cost(dims, rank, n_draws)
             self.draw_flops += flops
             self.draw_words += words
+            add_cost(flops=flops, words=words)
         elif self.distribution == "product-leverage":
             per_mode = [self._cache[k][2] for k in free_modes]
             drawn = np.stack(
@@ -309,6 +314,8 @@ class FusedSamplerCache:
             tuple(drawn[:, t] for t in range(len(free_modes))), dims, order="F"
         )
         unique_keys, counts = np.unique(keys, return_counts=True)
+        observe_inc("sampler.draws", n_draws)
+        observe_inc("sampler.distinct", int(unique_keys.shape[0]))
         indices = np.stack(
             np.unravel_index(unique_keys, dims, order="F"), axis=1
         ).astype(np.int64)
@@ -477,12 +484,15 @@ class SampledDimtreeKernel(SweepKernel):
             self.samplers.build_flops += flops
             self.samplers.build_words += words
             self.samplers.rebuilds += 1
+            observe_inc("sampler_cache.rebuild")
+            add_cost(flops=flops, words=words)
         if self._distribution == "tree-leverage":
             flops, words = tree_draw_cost(
                 [data.shape[k] for k in free], rank, n_draws
             )
             self.samplers.draw_flops += flops
             self.samplers.draw_words += words
+            add_cost(flops=flops, words=words)
         self._count_eval(
             data.shape[mode], rank, len(free), report.distinct_rows, has_rank=False
         )
@@ -496,21 +506,25 @@ class SampledDimtreeKernel(SweepKernel):
         )
         self.total_draws += n_draws
         self.total_distinct += report.distinct_rows
+        annotate(mode=mode, n_draws=n_draws, distinct_rows=report.distinct_rows)
         return report.result
 
     def _count_eval(
         self, out_extent: int, rank: int, n_free: int, distinct: int, *, has_rank: bool
     ) -> None:
-        self.eval_flops += (
+        flops = (
             max(n_free - 1, 0) * distinct * rank
             + distinct * rank
             + 2 * out_extent * distinct * rank
         )
-        self.eval_words += (
+        words = (
             distinct * out_extent * (rank if has_rank else 1)
             + distinct * n_free * rank
             + out_extent * rank
         )
+        self.eval_flops += flops
+        self.eval_words += words
+        add_cost(flops=flops, words=words)
 
     def mttkrp(
         self, tensor, factors: Sequence[Optional[np.ndarray]], mode: int
@@ -576,4 +590,5 @@ class SampledDimtreeKernel(SweepKernel):
         )
         self.total_draws += n_draws
         self.total_distinct += distinct
+        annotate(mode=mode, n_draws=n_draws, distinct_rows=distinct)
         return np.ascontiguousarray(result)

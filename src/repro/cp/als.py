@@ -30,6 +30,7 @@ from repro.core.sweep_kernel import (
 )
 from repro.cp.initialization import initialize_factors
 from repro.exceptions import ConvergenceWarning, ParameterError
+from repro.observe.tracer import trace
 from repro.tensor.dense import as_ndarray
 from repro.tensor.kruskal import KruskalTensor
 from repro.utils.validation import check_rank
@@ -213,42 +214,44 @@ def cp_als(
     for iteration in range(1, n_iter_max + 1):
         final_mttkrp = None
         sweep_kernel.begin_sweep(iteration)
-        # Per-sweep Hadamard cache: ``suffix[m]`` is the product of the
-        # pre-sweep Grams of modes ``m..N-1``; ``prefix`` accumulates the
-        # already-updated Grams of modes ``0..mode-1``.  The normal-equation
-        # matrix for ``mode`` is ``prefix ∘ suffix[mode + 1]``, so only the
-        # Gram of the factor just updated is folded in per mode instead of
-        # re-multiplying all ``N - 1`` operands.
-        suffix: List[np.ndarray] = [None] * (data.ndim + 1)  # type: ignore[list-item]
-        suffix[data.ndim] = np.ones((rank, rank), dtype=np.float64)
-        for m in range(data.ndim - 1, -1, -1):
-            suffix[m] = grams[m] * suffix[m + 1]
-        prefix = np.ones((rank, rank), dtype=np.float64)
-        for mode in range(data.ndim):
-            b = sweep_kernel.mttkrp(data, factors, mode)
-            mttkrp_calls += 1
-            gram = prefix * suffix[mode + 1]
-            factor = np.linalg.solve(gram.T + 1e-12 * np.eye(rank), b.T).T
-            # Column normalisation keeps the factors well-scaled across sweeps.
-            norms = np.linalg.norm(factor, axis=0)
-            norms = np.where(norms > 0, norms, 1.0)
-            factor = factor / norms[None, :]
-            weights = norms
-            factors[mode] = factor
-            grams[mode] = factor.T @ factor
-            sweep_kernel.factor_updated(mode, factor)
-            prefix = prefix * grams[mode]
-            if mode == last_mode:
-                final_mttkrp = b
+        with trace("sweep", iteration=iteration):
+            # Per-sweep Hadamard cache: ``suffix[m]`` is the product of the
+            # pre-sweep Grams of modes ``m..N-1``; ``prefix`` accumulates the
+            # already-updated Grams of modes ``0..mode-1``.  The normal-equation
+            # matrix for ``mode`` is ``prefix ∘ suffix[mode + 1]``, so only the
+            # Gram of the factor just updated is folded in per mode instead of
+            # re-multiplying all ``N - 1`` operands.
+            suffix: List[np.ndarray] = [None] * (data.ndim + 1)  # type: ignore[list-item]
+            suffix[data.ndim] = np.ones((rank, rank), dtype=np.float64)
+            for m in range(data.ndim - 1, -1, -1):
+                suffix[m] = grams[m] * suffix[m + 1]
+            prefix = np.ones((rank, rank), dtype=np.float64)
+            for mode in range(data.ndim):
+                with trace("mode", mode=mode):
+                    b = sweep_kernel.mttkrp(data, factors, mode)
+                    mttkrp_calls += 1
+                    gram = prefix * suffix[mode + 1]
+                    factor = np.linalg.solve(gram.T + 1e-12 * np.eye(rank), b.T).T
+                    # Column normalisation keeps the factors well-scaled across sweeps.
+                    norms = np.linalg.norm(factor, axis=0)
+                    norms = np.where(norms > 0, norms, 1.0)
+                    factor = factor / norms[None, :]
+                    weights = norms
+                    factors[mode] = factor
+                    grams[mode] = factor.T @ factor
+                    sweep_kernel.factor_updated(mode, factor)
+                    prefix = prefix * grams[mode]
+                    if mode == last_mode:
+                        final_mttkrp = b
 
-        # Efficient fit evaluation (Kolda & Bader, Section 3.4): using the last
-        # MTTKRP avoids reconstructing the dense tensor; ``prefix`` now holds
-        # the Hadamard product of all updated Grams.
-        norm_model_sq = float(weights @ prefix @ weights)
-        inner = float(np.sum(final_mttkrp * (factors[last_mode] * weights[None, :])))
-        residual_sq = max(norm_x**2 + norm_model_sq - 2.0 * inner, 0.0)
-        fit = 1.0 - np.sqrt(residual_sq) / norm_x if norm_x > 0 else 1.0
-        fits.append(float(fit))
+            # Efficient fit evaluation (Kolda & Bader, Section 3.4): using the last
+            # MTTKRP avoids reconstructing the dense tensor; ``prefix`` now holds
+            # the Hadamard product of all updated Grams.
+            norm_model_sq = float(weights @ prefix @ weights)
+            inner = float(np.sum(final_mttkrp * (factors[last_mode] * weights[None, :])))
+            residual_sq = max(norm_x**2 + norm_model_sq - 2.0 * inner, 0.0)
+            fit = 1.0 - np.sqrt(residual_sq) / norm_x if norm_x > 0 else 1.0
+            fits.append(float(fit))
 
         if abs(fit - previous_fit) < tol:
             converged = True

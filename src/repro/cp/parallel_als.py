@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.sweep_kernel import PerCallKernel, SweepKernel, check_kernel_name
 from repro.cp.als import cp_als, CPALSResult
 from repro.exceptions import ParameterError
+from repro.observe.tracer import trace
 from repro.parallel.dimtree import DistributedDimtreeKernel
 from repro.parallel.general import general_mttkrp
 from repro.parallel.grid_selection import choose_general_grid, choose_stationary_grid
@@ -265,15 +266,22 @@ def parallel_cp_als(
 
         inner = PerCallKernel(exact_kernel)
 
-    als_result = cp_als(
-        data,
-        rank,
-        n_iter_max=n_iter_max,
-        tol=tol,
-        seed=seed,
-        init=init,
-        kernel=_SweepWordCounter(inner, machine, data.ndim, words_per_iteration),
-    )
+    with trace(
+        "parallel-als",
+        kernel=kernel,
+        algorithm=algorithm,
+        n_procs=n_procs,
+        grid=[int(g) for g in grid],
+    ):
+        als_result = cp_als(
+            data,
+            rank,
+            n_iter_max=n_iter_max,
+            tol=tol,
+            seed=seed,
+            init=init,
+            kernel=_SweepWordCounter(inner, machine, data.ndim, words_per_iteration),
+        )
     return ParallelCPALSResult(
         als=als_result,
         machine=machine,

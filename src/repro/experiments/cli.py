@@ -155,6 +155,14 @@ def run_experiments(only: Optional[Sequence[str]] = None, *, quick: bool = False
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Subcommand dispatch happens before the flat parser so the established
+    # flag-only invocations (e.g. ``--only sketch-parallel --quick``) are
+    # untouched; ``trace-report`` owns its own argument parser.
+    if argv and argv[0] == "trace-report":
+        from repro.experiments.trace_report import trace_report_main
+
+        return trace_report_main(argv[1:])
     args = build_parser().parse_args(argv)
     report = run_experiments(args.only, quick=args.quick)
     if args.output:

@@ -1,0 +1,129 @@
+"""Exporters: Chrome trace-event JSON and the sorted-key metrics snapshot.
+
+:func:`chrome_trace` renders a :class:`~repro.observe.tracer.TraceSession`
+as the Chrome trace-event format (the ``{"traceEvents": [...]}`` JSON object
+Perfetto and ``chrome://tracing`` load directly): every span becomes one
+complete (``"ph": "X"``) event with microsecond ``ts``/``dur``, and the
+accrued ledgers ride along in ``args`` so the flop/word attribution is
+visible in the viewer's slice panel.  :func:`validate_chrome_trace` is the
+schema check CI runs against exported files (required per-event keys
+``ph`` / ``ts`` / ``name`` / ``pid``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.observe.tracer import TraceSession
+
+#: Keys every exported trace event must carry (the CI schema contract).
+CHROME_TRACE_REQUIRED_KEYS = ("ph", "ts", "name", "pid")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort plain-JSON form of a span attribute."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        pass
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def chrome_trace(session: TraceSession) -> dict:
+    """The session as a Chrome trace-event JSON object (Perfetto-loadable)."""
+    events = []
+    for span in session.spans:
+        args = {key: _jsonable(value) for key, value in span.attrs.items()}
+        args.update(
+            flops=span.flops,
+            words=span.words,
+            comm_words=span.comm_words,
+            messages=span.messages,
+        )
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: (event["ts"], -event["dur"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": session.metrics.snapshot()},
+    }
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid trace-event object.
+
+    Checks the structural contract CI enforces on exported traces: a dict
+    with a ``traceEvents`` list whose every event is a dict carrying the
+    required keys (:data:`CHROME_TRACE_REQUIRED_KEYS`) with sane types —
+    string ``ph``/``name``, numeric non-negative ``ts``, integer ``pid`` —
+    and, for complete (``"X"``) events, a numeric non-negative ``dur``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{position}] is not an object")
+        missing = [key for key in CHROME_TRACE_REQUIRED_KEYS if key not in event]
+        if missing:
+            raise ValueError(f"traceEvents[{position}] is missing keys {missing}")
+        if not isinstance(event["ph"], str) or not event["ph"]:
+            raise ValueError(f"traceEvents[{position}]: 'ph' must be a non-empty string")
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise ValueError(f"traceEvents[{position}]: 'name' must be a non-empty string")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError(f"traceEvents[{position}]: 'ts' must be a non-negative number")
+        if not isinstance(event["pid"], int):
+            raise ValueError(f"traceEvents[{position}]: 'pid' must be an integer")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{position}]: complete events need a non-negative 'dur'"
+                )
+
+
+def write_chrome_trace(session: TraceSession, path) -> dict:
+    """Validate, write (sorted keys), and return the session's Chrome trace."""
+    payload = chrome_trace(session)
+    validate_chrome_trace(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def metrics_snapshot(session: TraceSession) -> dict:
+    """The session's sorted-key metrics snapshot (counters + histograms)."""
+    return session.metrics.snapshot()
+
+
+def write_metrics_snapshot(session: TraceSession, path) -> dict:
+    """Write (sorted keys) and return the session's metrics snapshot."""
+    snapshot = metrics_snapshot(session)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snapshot

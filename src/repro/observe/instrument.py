@@ -1,0 +1,142 @@
+"""Hook surface of the observability layer — the only module hot paths import.
+
+Every counted subsystem (the dimension-tree engine, the fused sampler cache,
+the einsum path cache, the samplers, the simulated machine's collectives)
+calls the free functions below at the exact points where it already
+increments its own ledgers.  The functions share one rule: **when no trace
+session is active they return immediately** — a module-global attribute load
+and an ``is None`` test, nothing else.  No dictionary is built, no span is
+touched, no metric is looked up, so instrumented code paths are bitwise
+identical to their un-instrumented behaviour (results *and* counted ledgers)
+and the disabled overhead sits below wall-clock measurement noise (a tier-1
+test bounds it).
+
+This module is a dependency leaf: it imports nothing from the rest of the
+package (and nothing beyond the standard library), so any module — including
+:mod:`repro.core` and :mod:`repro.parallel` — can import it without layering
+concerns.  The session object it dispatches to is installed by
+:mod:`repro.observe.tracer` (``start_trace`` / ``tracing``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class _State:
+    """Holder for the active session (an attribute load is the fast path)."""
+
+    __slots__ = ("session",)
+
+    def __init__(self) -> None:
+        self.session: Optional[Any] = None
+
+
+#: The one process-wide slot a :class:`~repro.observe.tracer.TraceSession`
+#: occupies while active.  Hot paths read ``_STATE.session`` once per hook
+#: call; ``None`` (the default) short-circuits everything.
+_STATE = _State()
+
+
+def active_session():
+    """The active :class:`~repro.observe.tracer.TraceSession`, or ``None``."""
+    return _STATE.session
+
+
+def is_tracing() -> bool:
+    """Whether a trace session is currently installed."""
+    return _STATE.session is not None
+
+
+def add_cost(flops: int = 0, words: int = 0) -> None:
+    """Accrue counted arithmetic/data-movement cost to the innermost open span.
+
+    Called by the counted kernels at the same points they bump their own
+    ledgers (tree contractions, sampler builds/draws, estimator evaluation),
+    with the *same* quantities — so a span's totals equal the sum of the
+    ledger increments that executed inside it, and the drift detector can
+    hold them against the symbolic cost models.
+    """
+    session = _STATE.session
+    if session is not None:
+        session._add_cost(flops, words)
+
+
+def add_comm(words: int = 0, messages: int = 0) -> None:
+    """Accrue simulated-machine communication to the innermost open span.
+
+    Kept separate from :func:`add_cost` words: ``words`` there is the flat
+    memory-traffic model of the sequential kernels, ``comm_words`` here is
+    network words of the simulated machine (summed over the participating
+    ranks), which the parallel drift detector compares against the
+    collective-replay ledgers.
+    """
+    session = _STATE.session
+    if session is not None:
+        session._add_comm(words, messages)
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Increment counter ``name`` on the active session's metrics registry."""
+    session = _STATE.session
+    if session is not None:
+        session.metrics.inc(name, value)
+
+
+def observe_value(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` on the active session."""
+    session = _STATE.session
+    if session is not None:
+        session.metrics.observe(name, value)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span (no-op when disabled).
+
+    Used by kernels to report per-call data the driver cannot know — e.g. the
+    fused kernel stamps ``n_draws`` / ``distinct_rows`` onto the enclosing
+    ``"mode"`` span so the drift detector can replay the sampled cost model.
+    """
+    session = _STATE.session
+    if session is not None:
+        session._annotate(attrs)
+
+
+def record_collective(
+    kind: str, label: str, group_size: int, words_per_rank: int, messages_per_rank: int
+) -> None:
+    """Tally one charged collective: span comm accrual + per-kind counters.
+
+    ``words_per_rank`` is the bucket cost every participating rank was
+    charged, so the span (and the ``comm.<kind>.words`` counter) accrues
+    ``words_per_rank * group_size`` — the total words sent across the group,
+    which equals the sum over ranks of the machine's ``words_sent`` ledger
+    and therefore of the symbolic collective-replay predictions.
+    """
+    session = _STATE.session
+    if session is None:
+        return
+    total_words = int(words_per_rank) * int(group_size)
+    total_messages = int(messages_per_rank) * int(group_size)
+    session._add_comm(total_words, total_messages)
+    metrics = session.metrics
+    metrics.inc(f"comm.{kind}.calls")
+    metrics.inc(f"comm.{kind}.words", total_words)
+    metrics.inc(f"comm.{kind}.messages", total_messages)
+
+
+def record_label(label: str, group_size: int, words_per_rank: int) -> None:
+    """Tally one logged :class:`~repro.parallel.machine.CommunicationRecord` by label.
+
+    Every record the machine logs lands here, keyed by its phase label —
+    the per-phase word attribution the parallel reconciliation splits on.
+    Unlabeled records are tallied under ``<unlabeled>`` so a test can assert
+    there are none in a traced parallel ALS run.
+    """
+    session = _STATE.session
+    if session is None:
+        return
+    key = label if label else "<unlabeled>"
+    metrics = session.metrics
+    metrics.inc(f"comm.label.{key}.calls")
+    metrics.inc(f"comm.label.{key}.words", int(words_per_rank) * int(group_size))

@@ -1,0 +1,311 @@
+"""Context-var span tracer: wall-clock phases carrying the counted ledgers.
+
+A :class:`TraceSession` (installed with :func:`start_trace` / the
+:func:`tracing` context manager) records a tree of :class:`SpanRecord`
+phases.  Spans nest through a :class:`contextvars.ContextVar`, so the
+"innermost open span" is scoped correctly across generators and nested
+drivers; each span accrues
+
+* wall-clock time (``perf_counter`` by default; injectable for tests),
+* the counted flops/words the kernels' ledgers incremented inside it
+  (:func:`repro.observe.instrument.add_cost`),
+* the simulated machine's collective words/messages
+  (:func:`~repro.observe.instrument.add_comm`), kept separate from the flat
+  memory-model words so the parallel drift detector compares like with like.
+
+Costs roll up: when a span closes, its (inclusive) totals are added to its
+parent, so a ``"sweep"`` span carries everything its ``"mode"`` children
+counted.  Closing a span also feeds a ``span.<name>.seconds`` histogram —
+p50/p99 sweep latency falls out of the metrics snapshot for free.
+
+With no session active, :class:`trace` is a no-op context manager whose
+enter/exit do one module-global load each; a tier-1 test bounds the
+disabled overhead.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.observe.instrument import _STATE
+from repro.observe.metrics import MetricsRegistry
+
+#: The innermost open span of the current context (``None`` outside spans).
+_CURRENT_SPAN: ContextVar[Optional["_OpenSpan"]] = ContextVar(
+    "repro_observe_current_span", default=None
+)
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: a named phase with timing and accrued ledgers.
+
+    Attributes
+    ----------
+    name, attrs:
+        Phase name (e.g. ``"sweep"``, ``"mode"``) and attributes — the
+        keyword arguments of :class:`trace` plus anything the kernels
+        attached via :func:`~repro.observe.instrument.annotate`.
+    span_id, parent_id, depth:
+        Tree structure (ids are session-unique, root spans have
+        ``parent_id = None``).
+    start, duration:
+        Seconds since the session started / span wall-clock length.
+    flops, words:
+        Counted kernel arithmetic and flat-model data movement accrued
+        inside the span (children included).
+    comm_words, messages:
+        Simulated-machine collective words/messages (summed over the
+        participating ranks) accrued inside the span (children included).
+    """
+
+    name: str
+    attrs: Dict[str, Any]
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    start: float
+    duration: float
+    flops: int = 0
+    words: int = 0
+    comm_words: int = 0
+    messages: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (for JSON exporters)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "flops": self.flops,
+            "words": self.words,
+            "comm_words": self.comm_words,
+            "messages": self.messages,
+        }
+
+
+class _OpenSpan:
+    """Mutable in-flight span (closed spans become :class:`SpanRecord`)."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent",
+        "depth",
+        "start",
+        "flops",
+        "words",
+        "comm_words",
+        "messages",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent: Optional["_OpenSpan"],
+        start: float,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.start = start
+        self.flops = 0
+        self.words = 0
+        self.comm_words = 0
+        self.messages = 0
+
+
+@dataclass
+class TraceSession:
+    """One tracing run: the spans, the metrics registry, and the clock.
+
+    Sessions are installed/removed by :func:`start_trace` /
+    :func:`stop_trace` (or the :func:`tracing` context manager); while
+    installed, every instrumentation hook in the package feeds this object.
+    ``clock`` is injectable so tests can drive deterministic timings.
+    """
+
+    clock: Callable[[], float] = time.perf_counter
+    spans: List[SpanRecord] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Costs accrued outside any span (hooks firing between spans).
+    unattributed: Dict[str, int] = field(
+        default_factory=lambda: {"flops": 0, "words": 0, "comm_words": 0, "messages": 0}
+    )
+
+    def __post_init__(self) -> None:
+        self._epoch = self.clock()
+        self._next_id = 0
+
+    # -- span lifecycle (driven by the ``trace`` context manager) -----------
+    def _open_span(self, name: str, attrs: Dict[str, Any]) -> _OpenSpan:
+        span_id = self._next_id
+        self._next_id += 1
+        parent = _CURRENT_SPAN.get()
+        return _OpenSpan(name, dict(attrs), span_id, parent, self.clock() - self._epoch)
+
+    def _close_span(self, span: _OpenSpan) -> SpanRecord:
+        duration = (self.clock() - self._epoch) - span.start
+        record = SpanRecord(
+            name=span.name,
+            attrs=span.attrs,
+            span_id=span.span_id,
+            parent_id=None if span.parent is None else span.parent.span_id,
+            depth=span.depth,
+            start=span.start,
+            duration=duration,
+            flops=span.flops,
+            words=span.words,
+            comm_words=span.comm_words,
+            messages=span.messages,
+        )
+        self.spans.append(record)
+        parent = span.parent
+        if parent is not None:
+            # Inclusive accounting: the parent carries its children's totals.
+            parent.flops += span.flops
+            parent.words += span.words
+            parent.comm_words += span.comm_words
+            parent.messages += span.messages
+        self.metrics.observe(f"span.{span.name}.seconds", duration)
+        return record
+
+    # -- hook targets (see repro.observe.instrument) -------------------------
+    def _add_cost(self, flops: int, words: int) -> None:
+        span = _CURRENT_SPAN.get()
+        if span is None:
+            self.unattributed["flops"] += flops
+            self.unattributed["words"] += words
+        else:
+            span.flops += flops
+            span.words += words
+
+    def _add_comm(self, words: int, messages: int) -> None:
+        span = _CURRENT_SPAN.get()
+        if span is None:
+            self.unattributed["comm_words"] += words
+            self.unattributed["messages"] += messages
+        else:
+            span.comm_words += words
+            span.messages += messages
+
+    def _annotate(self, attrs: Dict[str, Any]) -> None:
+        span = _CURRENT_SPAN.get()
+        if span is not None:
+            span.attrs.update(attrs)
+
+    # -- queries -------------------------------------------------------------
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        """Closed spans called ``name``, in closing order."""
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, span_id: int) -> List[SpanRecord]:
+        """Closed direct children of the span with id ``span_id``."""
+        return [span for span in self.spans if span.parent_id == span_id]
+
+
+class trace:
+    """Span context manager: ``with trace("sweep", iteration=3): ...``.
+
+    With no active session, ``__enter__`` returns ``None`` and nothing else
+    happens — the disabled cost is two module-global loads (enter + exit)
+    plus the construction of this tiny object, bounded by a tier-1 test.
+    """
+
+    __slots__ = ("_name", "_attrs", "_span", "_token")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[_OpenSpan] = None
+        self._token = None
+
+    def __enter__(self) -> Optional[_OpenSpan]:
+        session = _STATE.session
+        if session is None:
+            return None
+        span = session._open_span(self._name, self._attrs)
+        self._token = _CURRENT_SPAN.set(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        if span is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._span = None
+            session = _STATE.session
+            if session is not None:
+                session._close_span(span)
+        return False
+
+
+def start_trace(*, clock: Callable[[], float] = time.perf_counter) -> TraceSession:
+    """Install (and return) a fresh :class:`TraceSession`.
+
+    Exactly one session can be active at a time — nested tracing would
+    silently split the accrued ledgers, so it raises instead.
+    """
+    if _STATE.session is not None:
+        raise RuntimeError("a trace session is already active; stop it first")
+    session = TraceSession(clock=clock)
+    _STATE.session = session
+    return session
+
+
+def stop_trace() -> TraceSession:
+    """Uninstall and return the active session (error if none is active)."""
+    session = _STATE.session
+    if session is None:
+        raise RuntimeError("no trace session is active")
+    _STATE.session = None
+    return session
+
+
+@contextmanager
+def tracing(*, clock: Callable[[], float] = time.perf_counter):
+    """Scoped tracing: ``with tracing() as session: ...`` (always uninstalls)."""
+    session = start_trace(clock=clock)
+    try:
+        yield session
+    finally:
+        _STATE.session = None
+
+
+def median_time(
+    fn: Callable[[], Any],
+    *,
+    repeats: int = 3,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Tuple[float, Any]:
+    """Median wall-clock seconds of at least three calls to ``fn``.
+
+    The timing utility the experiments use instead of single
+    ``perf_counter`` samples: one draw of a noisy timer is dominated by
+    scheduler jitter at sub-millisecond scales, while the median of three or
+    more repetitions is a robust location estimate.  Returns
+    ``(median_seconds, last_result)`` so callers can keep the computed value
+    without re-running ``fn``.
+    """
+    repeats = max(int(repeats), 3)
+    durations: List[float] = []
+    result: Any = None
+    for _ in range(repeats):
+        start = clock()
+        result = fn()
+        durations.append(clock() - start)
+    return float(statistics.median(durations)), result

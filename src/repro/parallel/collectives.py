@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import MachineError
+from repro.observe.instrument import record_collective
 from repro.parallel.machine import CommunicationRecord, SimulatedMachine
 from repro.utils.partition import partition_bounds
 
@@ -58,6 +59,7 @@ def _charge_group(
         machine.charge_receive(rank, words_per_rank)
         machine.charge_messages(rank, messages)
     machine.log(CommunicationRecord(kind=kind, group=tuple(group), words_per_rank=words_per_rank, label=label))
+    record_collective(kind, label, len(group), words_per_rank, messages)
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import MachineError
+from repro.observe.instrument import record_label
 from repro.utils.validation import check_positive_int
 
 
@@ -135,6 +136,7 @@ class SimulatedMachine:
     def log(self, record: CommunicationRecord) -> None:
         """Append a communication record to the trace."""
         self.records.append(record)
+        record_label(record.label, len(record.group), record.words_per_rank)
 
     # -- summaries --------------------------------------------------------------
     @property

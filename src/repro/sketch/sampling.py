@@ -39,6 +39,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.observe.instrument import inc as observe_inc
 from repro.tensor.khatri_rao import khatri_rao_excluding
 from repro.utils.validation import check_mode, check_positive_int
 
@@ -301,6 +302,8 @@ def draw_krp_samples(
 
     keys = np.ravel_multi_index(tuple(drawn[:, t] for t in range(len(modes))), dims, order="F")
     unique_keys, counts = np.unique(keys, return_counts=True)
+    observe_inc("sampler.draws", n_draws)
+    observe_inc("sampler.distinct", int(unique_keys.shape[0]))
     indices = np.stack(np.unravel_index(unique_keys, dims, order="F"), axis=1).astype(np.int64)
 
     if distribution == "uniform":

@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ParameterError
+from repro.observe.instrument import inc as observe_inc
 from repro.utils.validation import check_mode, check_positive_int
 
 #: Name under which this sampler is registered in
@@ -92,6 +93,7 @@ class GramSegmentTree:
         for v in range(self.size - 1, 0, -1):
             grams[v] = grams[2 * v] + grams[2 * v + 1]
         self._grams = grams
+        observe_inc("treesample.tree_builds")
 
     @property
     def root_gram(self) -> np.ndarray:
@@ -262,6 +264,7 @@ class KRPTreeSampler:
         rank-consistent-seeding contract of the distributed kernel).
         """
         n_draws = check_positive_int(n_draws, "n_draws")
+        observe_inc("treesample.draws", n_draws)
         u = rng.random((n_draws, len(self.modes)))
         h = np.ones((n_draws, self.rank))
         drawn = np.empty((n_draws, len(self.modes)), dtype=np.int64)

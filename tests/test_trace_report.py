@@ -1,0 +1,141 @@
+"""CLI smoke tests for ``python -m repro.experiments trace-report``."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.trace_report import TRACE_KERNELS, build_trace_report_parser
+from repro.observe import CHROME_TRACE_REQUIRED_KEYS, validate_chrome_trace
+
+
+class TestTraceReportCLI:
+    def test_sequential_dimtree_with_exports_and_drift_check(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "trace-report",
+                "--kernel",
+                "dimtree",
+                "--shape",
+                "6",
+                "7",
+                "8",
+                "--rank",
+                "3",
+                "--sweeps",
+                "3",
+                "--export-trace",
+                str(trace_path),
+                "--export-metrics",
+                str(metrics_path),
+                "--check-drift",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Traced ALS sweeps" in out
+        assert "drift check (dimtree" in out and "OK" in out
+        assert "Sweep latency: p50" in out
+
+        payload = json.loads(trace_path.read_text())
+        validate_chrome_trace(payload)
+        sweeps = [e for e in payload["traceEvents"] if e["name"] == "sweep"]
+        assert len(sweeps) == 3
+        for event in payload["traceEvents"]:
+            for key in CHROME_TRACE_REQUIRED_KEYS:
+                assert key in event
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["dimtree.partial.miss"] == 4
+
+    def test_sequential_fused_drift_check(self, capsys):
+        code = main(
+            [
+                "trace-report",
+                "--kernel",
+                "sampled-dimtree",
+                "--shape",
+                "6",
+                "7",
+                "8",
+                "--rank",
+                "3",
+                "--sweeps",
+                "2",
+                "--check-drift",
+            ]
+        )
+        assert code == 0
+        assert "drift check (sampled-dimtree" in capsys.readouterr().out
+
+    def test_parallel_drift_check(self, capsys):
+        code = main(
+            [
+                "trace-report",
+                "--kernel",
+                "dimtree",
+                "--shape",
+                "6",
+                "7",
+                "8",
+                "--rank",
+                "3",
+                "--sweeps",
+                "2",
+                "--procs",
+                "4",
+                "--check-drift",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift check (parallel-dimtree, parallel words): OK" in out
+
+    def test_bad_sweep_count_exits_2(self, capsys):
+        assert main(["trace-report", "--sweeps", "0"]) == 2
+        assert "--sweeps" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        report_path = tmp_path / "report.txt"
+        code = main(
+            [
+                "trace-report",
+                "--shape",
+                "4",
+                "5",
+                "6",
+                "--rank",
+                "2",
+                "--sweeps",
+                "2",
+                "--output",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        assert "Traced ALS sweeps" in report_path.read_text()
+        assert str(report_path) in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_trace_report_parser().parse_args([])
+        assert args.kernel == "dimtree"
+        assert args.kernel in TRACE_KERNELS
+        assert args.procs == 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_trace_report_parser().parse_args(["--kernel", "exact"])
+
+
+class TestFlatCLIUnchanged:
+    """The subcommand dispatch must not disturb the established flag CLI."""
+
+    def test_quick_single_experiment_still_runs(self, capsys):
+        assert main(["--only", "tab-matmul-factors"]) == 0
+        assert "tab-matmul-factors" in capsys.readouterr().out
+
+    def test_unknown_experiment_still_a_parse_error(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "does-not-exist"])
