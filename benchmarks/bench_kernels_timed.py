@@ -1,0 +1,196 @@
+"""Timed sparse-MTTKRP kernel race: chunked vs. the legacy ``np.add.at`` path.
+
+Records ``benchmarks/BENCH_kernels_timed.json`` (a *timed* record like
+``als_dimtree_timing.json``: wall-clock numbers vary run to run, so the file
+is gitignored and never byte-checked in CI).  Each row races the unchunked
+reference kernel against the chunked kernel on every requested backend,
+taking the median of at least three repetitions per candidate
+(:func:`repro.observe.median_time`) with per-repetition p50/p99 sourced from
+the tracer's span histograms, and then checks the wall-clock model of
+:mod:`repro.costmodel.kernel_timing` against reality:
+
+* the modelled winner must equal the measured winner on **every** row, and
+* at least one row must have the chunked kernel beating ``np.add.at``.
+
+Environment knobs (CI-friendly, mirroring the other benchmarks' style):
+
+``BENCH_KERNELS_QUICK=1``
+    Run only the two decisive rows (one chunked win, one unchunked win).
+``BENCH_KERNELS_BACKENDS=numpy,numba``
+    Comma-separated backends to race (default ``numpy``; unavailable
+    backends are skipped with a note in the JSON, never a failure).
+``BENCH_KERNELS_TIMED_JSON=/path/to.json``
+    Output path override.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from conftest import emit
+from repro.backend import available_backend_names, get_backend
+from repro.costmodel.kernel_timing import (
+    UNCHUNKED_LABEL,
+    chunked_label,
+    predicted_sparse_timings,
+)
+from repro.observe.tracer import median_time, trace, tracing
+from repro.tensor.random import random_factors
+from repro.tensor.sparse import SparseTensor, sparse_mttkrp, sparse_mttkrp_unchunked
+
+REPEATS = 3
+
+#: name, shape, nnz, rank, forced (nzchunk, rchunk) or None for the machine
+#: model's choice, and the regime the row demonstrates.
+CASES = [
+    # Large nonzero count at full rank: the dense (nnz, R) temporary of the
+    # legacy path spills fast memory and buffered np.add.at crawls — the
+    # regime the chunked kernel exists for.
+    ("large-3way", (200, 200, 200), 200_000, 32, None),
+    # Tiny problem with deliberately tiny forced chunks: per-chunk Python
+    # overhead dominates and the single-pass path wins.
+    ("tiny-forced-chunks", (60, 60, 60), 2_000, 8, (64, 2)),
+    # Wider-than-cache mid-rank sweep and a 4-way tensor, both on the machine
+    # model's default chunks (full mode only).
+    ("wide-3way", (300, 300, 300), 400_000, 16, None),
+    ("4way", (40, 40, 40, 40), 100_000, 24, None),
+]
+
+QUICK_CASE_NAMES = ("large-3way", "tiny-forced-chunks")
+
+
+def _sparse_problem(shape, nnz, rank, seed):
+    rng = np.random.default_rng(seed)
+    coords = np.stack(
+        [rng.integers(0, dim, size=nnz) for dim in shape], axis=1
+    )
+    values = rng.standard_normal(nnz)
+    tensor = SparseTensor(shape=shape, coords=coords, values=values)
+    factors = random_factors(shape, rank, seed=seed + 1)
+    return tensor, factors
+
+
+def _requested_backends():
+    raw = os.environ.get("BENCH_KERNELS_BACKENDS", "numpy")
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _race_row(name, shape, nnz, rank, forced, backends, seed):
+    tensor, factors = _sparse_problem(shape, nnz, rank, seed)
+    nzchunk, rchunk = forced if forced else (None, None)
+    mode = 0
+
+    candidates = {UNCHUNKED_LABEL: lambda: sparse_mttkrp_unchunked(tensor, factors, mode)}
+    for backend_name in backends:
+        candidates[chunked_label(backend_name)] = (
+            lambda b=backend_name: sparse_mttkrp(
+                tensor, factors, mode, nzchunk=nzchunk, rchunk=rchunk, backend=b
+            )
+        )
+
+    measured = {}
+    percentiles = {}
+    reference = None
+    with tracing() as session:
+        for label, fn in candidates.items():
+            # Warm once outside the timed repetitions (Numba JIT, CuPy
+            # transfers) so the medians time the steady state.
+            warm = fn()
+            if reference is None:
+                reference = warm
+            else:
+                np.testing.assert_allclose(warm, reference, atol=1e-12, rtol=0.0)
+
+            def traced(label=label, fn=fn):
+                with trace(label):
+                    return fn()
+
+            seconds, _ = median_time(traced, repeats=REPEATS)
+            measured[label] = seconds
+            summary = session.metrics.histogram_summary(f"span.{label}.seconds")
+            percentiles[label] = {"p50": summary["p50"], "p99": summary["p99"]}
+
+    predicted = predicted_sparse_timings(
+        nnz, rank, len(shape), nzchunk=nzchunk, rchunk=rchunk, backends=backends
+    )
+    measured_winner = min(measured, key=measured.get)
+    predicted_winner = min(predicted, key=predicted.get)
+    return {
+        "case": name,
+        "shape": list(shape),
+        "nnz": nnz,
+        "rank": rank,
+        "nzchunk": nzchunk,
+        "rchunk": rchunk,
+        "backends": list(backends),
+        "median_seconds": measured,
+        "span_percentiles": percentiles,
+        "predicted_seconds": predicted,
+        "measured_winner": measured_winner,
+        "predicted_winner": predicted_winner,
+    }
+
+
+def test_bench_kernels_timed_json():
+    """Race the kernels, record the JSON, and hold the model to its winners."""
+    quick = os.environ.get("BENCH_KERNELS_QUICK", "") not in ("", "0")
+    requested = _requested_backends()
+    installed = available_backend_names()
+    backends = [name for name in requested if name in installed]
+    skipped_backends = sorted(set(requested) - set(backends))
+    if not backends:
+        backends = ["numpy"]
+
+    cases = [c for c in CASES if not quick or c[0] in QUICK_CASE_NAMES]
+    rows = [
+        _race_row(name, shape, nnz, rank, forced, backends, seed=5)
+        for name, shape, nnz, rank, forced in cases
+    ]
+
+    target = Path(
+        os.environ.get(
+            "BENCH_KERNELS_TIMED_JSON",
+            Path(__file__).parent / "BENCH_kernels_timed.json",
+        )
+    )
+    payload = {
+        "note": "timed record (wall-clock medians): not byte-checked in CI",
+        "repeats": REPEATS,
+        "quick": quick,
+        "backends": backends,
+        "skipped_backends": skipped_backends,
+        "rows": rows,
+    }
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    lines = []
+    for row in rows:
+        timing = "  ".join(
+            f"{label} {seconds * 1e3:9.3f}ms" for label, seconds in row["median_seconds"].items()
+        )
+        lines.append(
+            f"  {row['case']:>20} {timing}  winner={row['measured_winner']}"
+            f" (predicted {row['predicted_winner']})"
+        )
+    emit("timed sparse MTTKRP kernel race", "\n".join(lines))
+
+    # The cost model must call every recorded row correctly, and the chunked
+    # kernel must demonstrably beat the legacy np.add.at path somewhere.
+    for row in rows:
+        assert row["predicted_winner"] == row["measured_winner"], row["case"]
+    assert any(
+        row["measured_winner"] != UNCHUNKED_LABEL for row in rows
+    ), "no recorded configuration where the chunked kernel wins"
+
+
+def test_backend_registry_reachable():
+    """The raced backends resolve through the registry (smoke check)."""
+    for name in _requested_backends():
+        if name in available_backend_names():
+            assert get_backend(name).name == name

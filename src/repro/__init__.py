@@ -26,6 +26,12 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and comparison.
 """
 
+from repro.backend import (
+    Backend,
+    available_backend_names,
+    backend_names,
+    get_backend,
+)
 from repro.core import (
     DimensionTree,
     DimensionTreeKernel,
@@ -61,6 +67,10 @@ from repro.sketch import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "Backend",
+    "available_backend_names",
+    "backend_names",
+    "get_backend",
     "mttkrp",
     "mttkrp_reference",
     "mttkrp_via_matmul",

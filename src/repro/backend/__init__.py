@@ -1,0 +1,38 @@
+"""Multi-backend execution layer for the MTTKRP kernels.
+
+One registry of named :class:`Backend` instances — NumPy always, Numba and
+CuPy when importable — resolved by :func:`get_backend` and threaded through
+:func:`repro.core.kernels.mttkrp`, the sparse chunked kernel, the
+dimension-tree engines, and both CP-ALS drivers via their ``backend=``
+parameter.  Kernel registry names stay backend-agnostic: ``kernel="einsum"``
+means the same contraction on whichever backend is selected.
+"""
+
+from repro.backend.base import (
+    Backend,
+    DEFAULT_BACKEND_NAME,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.backend.cupy_backend import CupyBackend
+from repro.backend.numba_backend import NumbaBackend
+from repro.backend.numpy_backend import NumpyBackend
+
+# Registration order is the preference order reports/benchmarks display.
+register_backend(NumpyBackend())
+register_backend(NumbaBackend())
+register_backend(CupyBackend())
+
+__all__ = [
+    "Backend",
+    "DEFAULT_BACKEND_NAME",
+    "NumpyBackend",
+    "NumbaBackend",
+    "CupyBackend",
+    "available_backend_names",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]

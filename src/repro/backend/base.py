@@ -1,0 +1,146 @@
+"""Execution-backend protocol and name registry.
+
+The kernels in :mod:`repro.core` and :mod:`repro.tensor.sparse` express their
+arithmetic against a tiny :class:`Backend` surface — an array namespace
+resolved through the array-API standard plus the one operation the standard
+does not cover (duplicate-summing row scatter-add) — so the *same* registry
+kernel names (``kernel="einsum"``, ``"dimtree"``, ...) run on whatever
+hardware is present.  NumPy is the always-available default; Numba and CuPy
+register themselves as optional backends that report :meth:`Backend.available`
+``False`` (and raise :class:`~repro.exceptions.BackendUnavailableError` when
+requested) if their import is missing, so the absence of an accelerator skips
+work rather than failing it.
+
+Backends are looked up by *name* through :func:`get_backend`; passing
+``None`` selects the default, passing an instance passes it through.  The
+instances are process-wide singletons: a backend may hold compiled kernels
+(Numba) or device state (CuPy) that should be built once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import BackendUnavailableError, ParameterError
+
+#: Name of the backend :func:`get_backend` resolves when given ``None``.
+DEFAULT_BACKEND_NAME = "numpy"
+
+
+class Backend:
+    """One execution target for the MTTKRP kernels.
+
+    Subclasses bind a *name* (the registry key), an array namespace, and the
+    operations below.  Everything accepts and returns arrays of the backend's
+    namespace except :meth:`to_numpy`, which always lands on host NumPy —
+    kernel entry points convert inputs once, compute natively, and convert
+    the result back, so drivers keep their NumPy-in/NumPy-out contract.
+    """
+
+    #: Registry key (subclasses override).
+    name: str = "abstract"
+
+    def available(self) -> bool:
+        """Whether this backend's dependency stack is importable and usable."""
+        raise NotImplementedError
+
+    def namespace(self):
+        """The backend's array namespace, resolved via the array-API standard.
+
+        Implementations prefer the namespace an array of the backend reports
+        through ``__array_namespace__`` (the standard's entry point, available
+        on NumPy >= 2.0 and CuPy >= 13) and fall back to the raw module —
+        which is namespace-compatible for every operation the kernels use —
+        on older versions.
+        """
+        raise NotImplementedError
+
+    # -- array movement ------------------------------------------------------
+    def asarray(self, array, dtype=None):
+        """Bring ``array`` into this backend's namespace (no copy when native)."""
+        xp = self.namespace()
+        return xp.asarray(array) if dtype is None else xp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Bring a backend-native array back to host NumPy."""
+        return np.asarray(array)
+
+    # -- the operations the kernels need -------------------------------------
+    def einsum(self, spec: str, *operands, optimize=True):
+        """Evaluate ``spec`` over backend-native operands (path pass-through)."""
+        return self.namespace().einsum(spec, *operands, optimize=optimize)
+
+    def tensordot(self, a, b, axes):
+        """Tensor contraction of backend-native arrays."""
+        return self.namespace().tensordot(a, b, axes=axes)
+
+    def zeros(self, shape, dtype=np.float64):
+        """Backend-native zero-initialised array."""
+        return self.namespace().zeros(shape, dtype=dtype)
+
+    def scatter_add_rows(self, out, rows, block) -> None:
+        """Accumulate ``out[rows[i], :] += block[i, :]`` with duplicates summed.
+
+        The one primitive outside the array-API standard that the sparse
+        chunked kernel needs; each backend supplies its fastest form (NumPy:
+        per-column ``bincount``; Numba: a compiled scatter loop; CuPy:
+        ``cupyx.scatter_add``).  ``out`` may be a writable column-slice view.
+        """
+        raise NotImplementedError
+
+    def synchronize(self) -> None:  # noqa: B027 - optional device barrier
+        """Wait for device work to finish (no-op on host backends)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} name={self.name!r} available={self.available()}>"
+
+
+#: name -> singleton instance, in registration order (NumPy registers first).
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register a backend instance under its ``name`` (later wins, like dicts)."""
+    if not isinstance(backend, Backend):
+        raise ParameterError(f"not a Backend instance: {backend!r}")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names() -> List[str]:
+    """Every registered backend name, available or not, in registration order."""
+    return list(_REGISTRY)
+
+
+def available_backend_names() -> List[str]:
+    """Names of the registered backends whose dependency stack is importable."""
+    return [name for name, backend in _REGISTRY.items() if backend.available()]
+
+
+def get_backend(backend: Union[None, str, Backend] = None) -> Backend:
+    """Resolve ``backend`` to a usable :class:`Backend` instance.
+
+    ``None`` selects the default (``"numpy"``), a string is looked up in the
+    registry, and an instance passes through unchanged.  An unknown name
+    raises :class:`~repro.exceptions.ParameterError`; a known-but-missing one
+    raises :class:`~repro.exceptions.BackendUnavailableError` so callers (and
+    tests) can skip rather than mask a typo.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND_NAME
+    if isinstance(backend, Backend):
+        return backend
+    resolved: Optional[Backend] = _REGISTRY.get(backend)
+    if resolved is None:
+        raise ParameterError(
+            f"unknown execution backend {backend!r}; "
+            f"registered backends: {', '.join(sorted(_REGISTRY))}"
+        )
+    if not resolved.available():
+        raise BackendUnavailableError(
+            f"backend {resolved.name!r} is registered but its dependencies are "
+            f"not installed; available backends: {', '.join(available_backend_names())}"
+        )
+    return resolved

@@ -1,0 +1,64 @@
+"""Optional CuPy backend: device execution behind the same kernel names.
+
+CuPy implements the array-API standard (``__array_namespace__`` on >= 13),
+so the dense einsum/tensordot contractions run device-side unchanged; the
+sparse kernel's scatter-add maps to ``cupyx.scatter_add``.  Availability
+requires both an importable ``cupy`` and a visible CUDA device — an installed
+wheel on a GPU-less node still reports unavailable, keeping the skip-not-fail
+contract of the optional-backend test matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+
+class CupyBackend(Backend):
+    """CUDA execution via CuPy (optional; requires a visible device)."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        self._checked = False
+        self._usable = False
+        self._cupy = None
+
+    def available(self) -> bool:
+        if not self._checked:
+            self._checked = True
+            try:
+                import cupy
+
+                cupy.cuda.runtime.getDeviceCount()
+            except Exception:
+                self._usable = False
+            else:
+                self._cupy = cupy
+                self._usable = True
+        return self._usable
+
+    def _module(self):
+        if not self.available():  # pragma: no cover - guarded by get_backend
+            raise RuntimeError("cupy backend is not available")
+        return self._cupy
+
+    def namespace(self):
+        cupy = self._module()
+        probe = cupy.empty(0)
+        resolver = getattr(probe, "__array_namespace__", None)
+        if resolver is not None:
+            return resolver()
+        return cupy  # pragma: no cover - CuPy < 13
+
+    def to_numpy(self, array) -> np.ndarray:
+        return self._module().asnumpy(array)
+
+    def scatter_add_rows(self, out, rows, block) -> None:
+        import cupyx
+
+        cupyx.scatter_add(out, rows, block)
+
+    def synchronize(self) -> None:
+        self._module().cuda.get_current_stream().synchronize()

@@ -1,0 +1,65 @@
+"""Optional Numba backend: compiled scatter-add on host NumPy arrays.
+
+Numba is not an array-namespace provider — it accelerates loops over NumPy
+memory — so this backend shares NumPy's namespace (einsum and tensordot run
+through NumPy unchanged) and replaces only the scatter-add primitive with a
+JIT-compiled loop that fuses the row gather and the duplicate-summing
+accumulation without any temporary.  Everything degrades gracefully: when
+``numba`` is not installed the backend reports unavailable and
+:func:`repro.backend.get_backend` raises
+:class:`~repro.exceptions.BackendUnavailableError` instead of importing it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyBackend
+
+
+class NumbaBackend(NumpyBackend):
+    """NumPy namespace with a compiled duplicate-summing scatter-add."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._scatter = None
+        self._checked = False
+        self._importable = False
+
+    def available(self) -> bool:
+        if not self._checked:
+            self._checked = True
+            try:
+                import numba  # noqa: F401
+            except ImportError:
+                self._importable = False
+            else:
+                self._importable = True
+        return self._importable
+
+    def _compiled_scatter(self):
+        if self._scatter is None:
+            from numba import njit
+
+            @njit(cache=True)
+            def scatter(out, rows, block):  # pragma: no cover - compiled
+                for i in range(rows.shape[0]):
+                    row = rows[i]
+                    for j in range(block.shape[1]):
+                        out[row, j] += block[i, j]
+
+            self._scatter = scatter
+        return self._scatter
+
+    def scatter_add_rows(self, out, rows, block) -> None:
+        # The compiled loop needs contiguous memory; column-slice views of
+        # the output are not, so scatter into a dense scratch and add once.
+        scatter = self._compiled_scatter()
+        if out.flags["C_CONTIGUOUS"]:
+            scatter(out, rows, np.ascontiguousarray(block))
+        else:
+            scratch = np.zeros(out.shape, dtype=out.dtype)
+            scatter(scratch, rows, np.ascontiguousarray(block))
+            out += scratch

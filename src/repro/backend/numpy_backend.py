@@ -1,0 +1,42 @@
+"""The default NumPy backend (always available)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import Backend
+
+
+def _resolve_numpy_namespace():
+    """NumPy's array-API namespace (standard entry point on >= 2.0)."""
+    probe = np.empty(0)
+    resolver = getattr(probe, "__array_namespace__", None)
+    if resolver is not None:
+        return resolver()
+    return np  # pragma: no cover - NumPy < 2.0
+
+
+class NumpyBackend(Backend):
+    """Host execution on NumPy — the reference every other backend must match."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._xp = _resolve_numpy_namespace()
+
+    def available(self) -> bool:
+        return True
+
+    def namespace(self):
+        return self._xp
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def scatter_add_rows(self, out, rows, block) -> None:
+        # One bincount per column: C-speed duplicate-summing accumulation,
+        # far faster than buffered ``np.add.at`` on the same rows.  The
+        # column count is the kernel's rchunk, so the loop stays short.
+        minlength = out.shape[0]
+        for j in range(block.shape[1]):
+            out[:, j] += np.bincount(rows, weights=block[:, j], minlength=minlength)

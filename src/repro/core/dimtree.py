@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import Backend, get_backend
 from repro.core.multi_mode import contract_mode_step
 from repro.core.sweep_kernel import SweepKernel
 from repro.exceptions import ParameterError
@@ -272,6 +273,11 @@ class DimensionTree:
         bounded staleness on nearly-converged ALS runs.
     residual_tol:
         Accumulated relative-drift tolerance of ``invalidation="residual"``.
+    backend:
+        Execution backend name or instance for the contraction steps
+        (:func:`repro.backend.get_backend`).  Non-default backends keep the
+        cached partials native (e.g. on-device for CuPy) and convert only
+        the leaves they serve; the counted ledgers are backend-independent.
 
     Notes
     -----
@@ -290,8 +296,10 @@ class DimensionTree:
         cache: bool = True,
         invalidation: str = "exact",
         residual_tol: float = 1e-2,
+        backend=None,
     ) -> None:
         self._data = as_ndarray(tensor)
+        self._backend: Backend = get_backend(backend)
         if self._data.ndim < 2:
             raise ParameterError("DimensionTree requires a tensor with at least 2 modes")
         if invalidation not in ("exact", "residual"):
@@ -446,7 +454,7 @@ class DimensionTree:
         mode = check_mode(mode, self._n)
         self.register_factors(factors, mode)
         value, _, _ = self._value((mode,))
-        return np.ascontiguousarray(value).copy()
+        return np.ascontiguousarray(self._backend.to_numpy(value)).copy()
 
     # -- internals -----------------------------------------------------------
     def _value(self, key: Tuple[int, ...]):
@@ -477,7 +485,7 @@ class DimensionTree:
         flops, words = _step_cost(dims, data.shape[axis], rank, has_rank)
         if data is self._data:
             self.root_reads += 1
-        out = contract_mode_step(data, axis, factor, has_rank)
+        out = contract_mode_step(data, axis, factor, has_rank, backend=self._backend)
         self.contractions += 1
         self.flops += flops
         self.words += words
@@ -619,11 +627,13 @@ class DimensionTreeKernel(SweepKernel):
         cache: bool = True,
         invalidation: str = "exact",
         residual_tol: float = 1e-2,
+        backend=None,
     ) -> None:
         self._split = split
         self._cache = bool(cache)
         self._invalidation = invalidation
         self._residual_tol = float(residual_tol)
+        self._backend = get_backend(backend)
         self.tree: Optional[DimensionTree] = None
         self._sweep_marks: List[SweepCost] = []
 
@@ -647,6 +657,7 @@ class DimensionTreeKernel(SweepKernel):
                 cache=self._cache,
                 invalidation=self._invalidation,
                 residual_tol=self._residual_tol,
+                backend=self._backend,
             )
             # A rebuild starts a fresh counter stream: marks taken against the
             # previous tree's totals would otherwise make per-sweep deltas

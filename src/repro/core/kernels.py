@@ -17,13 +17,14 @@ from __future__ import annotations
 
 import string
 from collections import OrderedDict
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import Backend, get_backend
 from repro.observe.instrument import inc as observe_inc
 from repro.tensor.dense import as_ndarray
-from repro.utils.validation import check_factor_matrices, check_mode
+from repro.utils.validation import check_factor_matrices, check_mode, infer_rank
 
 #: Index letter reserved for the rank dimension in the einsum specification.
 _RANK_LETTER = "z"
@@ -31,16 +32,24 @@ _RANK_LETTER = "z"
 #: Maximum number of tensor modes supported by the einsum-based kernel.
 MAX_MODES = len(string.ascii_lowercase) - 1
 
-#: Memoized einsum contraction paths keyed on ``(shape, mode, rank)``.  The
-#: greedy path search of ``optimize=True`` is pure Python and, inside ALS hot
-#: loops, was re-run on every MTTKRP call even though the operand shapes
-#: repeat identically sweep after sweep; the cache makes the search a
-#: once-per-problem cost.  Bounded as an LRU (insertion order doubles as
-#: recency order: hits are moved to the end, overflow evicts the oldest
-#: entry) so a long multi-problem process sheds cold one-off shapes while
-#: the hot steady-state ALS paths survive.
+#: Memoized einsum contraction paths.  The greedy path search of
+#: ``optimize=True`` is pure Python and, inside ALS hot loops, was re-run on
+#: every MTTKRP call even though the operand shapes repeat identically sweep
+#: after sweep; the cache makes the search a once-per-problem cost.  Keys
+#: include the operand dtypes and the execution backend name alongside
+#: ``(shape, mode, rank)``: a path planned for NumPy/float64 operands must
+#: never be served to a CuPy/float32 call, whose intermediate-size tradeoffs
+#: (and einsum implementation) differ.  Bounded as an LRU (insertion order
+#: doubles as recency order: hits are moved to the end, overflow evicts the
+#: oldest entry) so a long multi-problem process sheds cold one-off shapes
+#: while the hot steady-state ALS paths survive.
 _PATH_CACHE: OrderedDict = OrderedDict()
 _PATH_CACHE_MAX_ENTRIES = 512
+
+
+def _path_cache_key(base, operands, backend_name: str):
+    """Full cache key: the call-site ``base`` plus operand dtypes and backend."""
+    return (backend_name, base, tuple(str(op.dtype) for op in operands))
 
 
 def _contraction_path(key, spec: str, operands) -> list:
@@ -48,7 +57,18 @@ def _contraction_path(key, spec: str, operands) -> list:
     path = _PATH_CACHE.get(key)
     if path is None:
         observe_inc("path_cache.miss")
-        path = np.einsum_path(spec, *operands, optimize=True)[0]
+        # Path planning reads only shapes and dtypes, so plan over
+        # zero-strided host dummies: free of data movement, and valid even
+        # when the operands live on a device backend.
+        dummies = [
+            np.lib.stride_tricks.as_strided(
+                np.empty(1, dtype=np.dtype(str(op.dtype))),
+                shape=tuple(int(d) for d in op.shape),
+                strides=(0,) * len(op.shape),
+            )
+            for op in operands
+        ]
+        path = np.einsum_path(spec, *dummies, optimize=True)[0]
         if len(_PATH_CACHE) >= _PATH_CACHE_MAX_ENTRIES:
             _PATH_CACHE.popitem(last=False)
         _PATH_CACHE[key] = path
@@ -58,12 +78,10 @@ def _contraction_path(key, spec: str, operands) -> list:
     return path
 
 
-def _infer_rank(factors: Sequence[Optional[np.ndarray]], mode: int) -> int:
-    """Rank deduced from the first available input factor matrix."""
-    for k, f in enumerate(factors):
-        if k != mode and f is not None:
-            return int(np.asarray(f).shape[1])
-    raise ValueError("at least one input factor matrix is required")
+#: Shared rank-inference helper (one error type and message package-wide);
+#: re-exported here under the historical private name for call sites that
+#: imported it from this module.
+_infer_rank = infer_rank
 
 
 def _einsum_spec(ndim: int, mode: int) -> str:
@@ -80,7 +98,13 @@ def _einsum_spec(ndim: int, mode: int) -> str:
     return ",".join(parts) + "->" + letters[mode] + _RANK_LETTER
 
 
-def mttkrp(tensor, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.ndarray:
+def mttkrp(
+    tensor,
+    factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    *,
+    backend: Union[None, str, Backend] = None,
+) -> np.ndarray:
     """Vectorised dense MTTKRP.
 
     Parameters
@@ -92,6 +116,12 @@ def mttkrp(tensor, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.nda
         ignored and may be ``None``.
     mode:
         The output mode ``n``.
+    backend:
+        Execution backend name or instance
+        (:func:`repro.backend.get_backend`); the contraction path is planned
+        once per (backend, shapes, dtypes) and the einsum itself is evaluated
+        by the selected backend.  Inputs and the returned array are host
+        NumPy regardless of the backend.
 
     Returns
     -------
@@ -106,6 +136,7 @@ def mttkrp(tensor, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.nda
     mode = check_mode(mode, data.ndim)
     rank = _infer_rank(factors, mode)
     check_factor_matrices(factors, data.shape, rank, skip_mode=mode)
+    exec_backend = get_backend(backend)
 
     operands = [data]
     for k in range(data.ndim):
@@ -113,13 +144,21 @@ def mttkrp(tensor, factors: Sequence[Optional[np.ndarray]], mode: int) -> np.nda
             continue
         operands.append(np.asarray(factors[k]))
     spec = _einsum_spec(data.ndim, mode)
-    path = _contraction_path((tuple(data.shape), mode, rank), spec, operands)
-    result = np.einsum(spec, *operands, optimize=path)
+    key = _path_cache_key(
+        (tuple(data.shape), mode, rank), operands, exec_backend.name
+    )
+    path = _contraction_path(key, spec, operands)
+    native = [exec_backend.asarray(op) for op in operands]
+    result = exec_backend.to_numpy(exec_backend.einsum(spec, *native, optimize=path))
     return np.ascontiguousarray(result)
 
 
 def local_mttkrp(
-    local_tensor: np.ndarray, local_factors: Sequence[Optional[np.ndarray]], mode: int
+    local_tensor: np.ndarray,
+    local_factors: Sequence[Optional[np.ndarray]],
+    mode: int,
+    *,
+    backend: Union[None, str, Backend] = None,
 ) -> np.ndarray:
     """Local MTTKRP used inside the parallel algorithms.
 
@@ -129,7 +168,7 @@ def local_mttkrp(
     under its own name so the parallel algorithms read like the paper's
     pseudocode (``Local-MTTKRP``).
     """
-    return mttkrp(local_tensor, local_factors, mode)
+    return mttkrp(local_tensor, local_factors, mode, backend=backend)
 
 
 def mttkrp_flops(shape: Sequence[int], rank: int, *, atomic: bool = True) -> int:

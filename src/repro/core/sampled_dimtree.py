@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.dimtree import DimensionTree, FactorGate, ModeSplit
 from repro.core.sweep_kernel import SweepKernel
 from repro.exceptions import ParameterError
@@ -385,6 +386,7 @@ class SampledDimtreeKernel(SweepKernel):
         cache: bool = True,
         invalidation: str = "exact",
         residual_tol: float = 1e-2,
+        backend=None,
     ) -> None:
         from repro.sketch.sampling import _as_generator
 
@@ -400,6 +402,7 @@ class SampledDimtreeKernel(SweepKernel):
         self._cache = bool(cache)
         self._invalidation = invalidation
         self._residual_tol = float(residual_tol)
+        self._backend = get_backend(backend)
         self.tree: Optional[DimensionTree] = None
         self.samplers = FusedSamplerCache(distribution)
         self.draw_log: List[FusedDrawRecord] = []
@@ -538,6 +541,7 @@ class SampledDimtreeKernel(SweepKernel):
                 split=self._split,
                 invalidation=self._invalidation,
                 residual_tol=self._residual_tol,
+                backend=self._backend,
             )
             self.samplers = FusedSamplerCache(self._distribution)
             self.draw_log = []

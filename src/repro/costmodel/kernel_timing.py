@@ -1,0 +1,232 @@
+"""Wall-clock model of the sparse MTTKRP kernels (chunked vs. unchunked).
+
+Unlike the counted models in the rest of this subpackage, this module
+predicts *seconds*: which execution path of
+:func:`repro.tensor.sparse.sparse_mttkrp` — the legacy ``np.add.at`` kernel
+or the chunked scatter kernel on a given backend — wins on a given problem.
+The model has deliberately few terms, each tied to a mechanism the
+implementation actually exhibits:
+
+* every path streams ``nnz * R`` elements through ``N - 1`` factor-gather
+  multiplies (:attr:`KernelTimingParams.stream_seconds_per_element`);
+* the unchunked path's ``np.add.at`` scatter is fast while its dense
+  ``(nnz, R)`` temporary fits in cache and an order of magnitude slower once
+  it spills (the very blow-up the chunked kernel exists to avoid) — a
+  two-level memory model in the spirit of
+  :mod:`repro.sequential.block_size`, with the same default capacity;
+* the chunked path pays a constant per-element scatter rate (backend
+  dependent: per-column ``np.bincount``, a compiled loop, or
+  ``cupyx.scatter_add``) plus per-chunk Python-loop and per-scatter-call
+  overheads that dominate only when chunks are tiny.
+
+The constants are calibrated on the container that records
+``benchmarks/BENCH_kernels_timed.json``; the benchmark asserts that the
+modelled winner matches the measured winner on every recorded row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ParameterError
+from repro.sequential.block_size import (
+    DEFAULT_SPARSE_CHUNK_MEMORY_WORDS,
+    choose_sparse_chunks,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "KernelTimingParams",
+    "predicted_sparse_mttkrp_seconds",
+    "predicted_sparse_timings",
+    "predict_sparse_winner",
+]
+
+#: Kernel labels used by :func:`predicted_sparse_timings` /
+#: :func:`predict_sparse_winner`: the legacy path is ``"unchunked"``, the
+#: chunked path is ``"chunked:<backend>"``.
+UNCHUNKED_LABEL = "unchunked"
+
+
+def chunked_label(backend_name: str) -> str:
+    """The timing-table label of the chunked kernel on ``backend_name``."""
+    return f"chunked:{backend_name}"
+
+
+@dataclass(frozen=True)
+class KernelTimingParams:
+    """Calibration constants of the sparse-kernel wall-clock model.
+
+    All per-element rates are seconds per double-precision element on the
+    calibration machine; see the module docstring for which mechanism each
+    term models.
+    """
+
+    #: Seconds per element per factor-gather multiply (paid ``N - 1`` times
+    #: per element by every path).
+    stream_seconds_per_element: float = 1.5e-9
+    #: ``np.add.at`` seconds per element while the dense ``(nnz, R)``
+    #: temporary fits in ``cache_words``.
+    addat_seconds_in_cache: float = 1.0e-9
+    #: ``np.add.at`` seconds per element once the temporary spills.
+    addat_seconds_out_of_cache: float = 2.1e-8
+    #: Per-element scatter rate of the chunked kernel, by backend name.
+    scatter_seconds_per_element: Mapping[str, float] = field(
+        default_factory=lambda: {"numpy": 6.0e-9, "numba": 1.5e-9, "cupy": 1.0e-10}
+    )
+    #: Fixed cost of one scatter call (one ``np.bincount`` per block column
+    #: on the CPU backends; one kernel launch per block on CuPy).
+    scatter_call_seconds: Mapping[str, float] = field(
+        default_factory=lambda: {"numpy": 2.5e-7, "numba": 2.5e-7, "cupy": 5.0e-6}
+    )
+    #: Python-loop overhead per (nzchunk, rchunk) block.
+    chunk_overhead_seconds: float = 5.0e-7
+    #: Cache capacity (words) separating the two ``np.add.at`` regimes;
+    #: defaults to the machine model's sparse-chunk budget.
+    cache_words: int = DEFAULT_SPARSE_CHUNK_MEMORY_WORDS
+
+
+def _resolved_chunks(
+    nnz: int, rank: int, n_modes: int, nzchunk: Optional[int], rchunk: Optional[int]
+) -> Tuple[int, int]:
+    if nzchunk is None or rchunk is None:
+        default_nz, default_r = choose_sparse_chunks(n_modes, rank)
+        nzchunk = default_nz if nzchunk is None else nzchunk
+        rchunk = default_r if rchunk is None else rchunk
+    return check_positive_int(nzchunk, "nzchunk"), check_positive_int(rchunk, "rchunk")
+
+
+def predicted_sparse_mttkrp_seconds(
+    nnz: int,
+    rank: int,
+    n_modes: int,
+    *,
+    kernel: str = "chunked",
+    backend: str = "numpy",
+    nzchunk: Optional[int] = None,
+    rchunk: Optional[int] = None,
+    params: Optional[KernelTimingParams] = None,
+) -> float:
+    """Modelled wall-clock seconds of one sparse MTTKRP.
+
+    Parameters
+    ----------
+    nnz, rank, n_modes:
+        Problem size: stored nonzeros, CP rank ``R``, tensor order ``N``.
+    kernel:
+        ``"unchunked"`` (the legacy ``np.add.at`` path) or ``"chunked"``.
+    backend:
+        Execution backend of the chunked kernel (ignored for
+        ``"unchunked"``); must have an entry in the params' rate tables.
+    nzchunk, rchunk:
+        Chunk sizes of the chunked kernel; defaults come from
+        :func:`repro.sequential.block_size.choose_sparse_chunks`, exactly as
+        in the implementation.  When both cover the whole problem the
+        implementation falls back to the unchunked path bit-for-bit, and so
+        does the model.
+    params:
+        Calibration constants (default :class:`KernelTimingParams`).
+    """
+    if params is None:
+        params = KernelTimingParams()
+    nnz = int(nnz)
+    if nnz < 0:
+        raise ParameterError("nnz must be non-negative")
+    rank = check_positive_int(rank, "rank")
+    n_modes = check_positive_int(n_modes, "n_modes")
+    if kernel not in ("chunked", UNCHUNKED_LABEL):
+        raise ParameterError(f"kernel must be 'chunked' or 'unchunked', got {kernel!r}")
+    if nnz == 0:
+        return 0.0
+
+    elements = nnz * rank
+    stream = params.stream_seconds_per_element * (n_modes - 1) * elements
+
+    if kernel == UNCHUNKED_LABEL:
+        rate = (
+            params.addat_seconds_in_cache
+            if elements <= params.cache_words
+            else params.addat_seconds_out_of_cache
+        )
+        return stream + rate * elements
+
+    nzchunk, rchunk = _resolved_chunks(nnz, rank, n_modes, nzchunk, rchunk)
+    if nzchunk >= nnz and rchunk >= rank:
+        # The implementation dispatches to the unchunked path verbatim.
+        return predicted_sparse_mttkrp_seconds(
+            nnz, rank, n_modes, kernel=UNCHUNKED_LABEL, params=params
+        )
+    try:
+        scatter_rate = params.scatter_seconds_per_element[backend]
+        call_seconds = params.scatter_call_seconds[backend]
+    except KeyError:
+        raise ParameterError(
+            f"no timing calibration for backend {backend!r}; "
+            f"known: {sorted(params.scatter_seconds_per_element)}"
+        ) from None
+    n_z = math.ceil(nnz / nzchunk)
+    n_r = math.ceil(rank / rchunk)
+    # CPU backends issue one bincount per block column; CuPy launches one
+    # scatter_add kernel per block.
+    n_calls = n_z * n_r if backend == "cupy" else n_z * rank
+    return (
+        stream
+        + scatter_rate * elements
+        + call_seconds * n_calls
+        + params.chunk_overhead_seconds * n_z * n_r
+    )
+
+
+def predicted_sparse_timings(
+    nnz: int,
+    rank: int,
+    n_modes: int,
+    *,
+    nzchunk: Optional[int] = None,
+    rchunk: Optional[int] = None,
+    backends: Sequence[str] = ("numpy",),
+    params: Optional[KernelTimingParams] = None,
+) -> Dict[str, float]:
+    """Modelled seconds of every candidate kernel, keyed by timing label."""
+    timings = {
+        UNCHUNKED_LABEL: predicted_sparse_mttkrp_seconds(
+            nnz, rank, n_modes, kernel=UNCHUNKED_LABEL, params=params
+        )
+    }
+    for backend in backends:
+        timings[chunked_label(backend)] = predicted_sparse_mttkrp_seconds(
+            nnz,
+            rank,
+            n_modes,
+            kernel="chunked",
+            backend=backend,
+            nzchunk=nzchunk,
+            rchunk=rchunk,
+            params=params,
+        )
+    return timings
+
+
+def predict_sparse_winner(
+    nnz: int,
+    rank: int,
+    n_modes: int,
+    *,
+    nzchunk: Optional[int] = None,
+    rchunk: Optional[int] = None,
+    backends: Sequence[str] = ("numpy",),
+    params: Optional[KernelTimingParams] = None,
+) -> str:
+    """The timing label the model expects to win (minimum modelled seconds)."""
+    timings = predicted_sparse_timings(
+        nnz,
+        rank,
+        n_modes,
+        nzchunk=nzchunk,
+        rchunk=rchunk,
+        backends=backends,
+        params=params,
+    )
+    return min(timings, key=timings.get)

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import Backend, get_backend
 from repro.core.dimtree import DimensionTreeKernel
 from repro.core.kernels import mttkrp
 from repro.core.matmul_baseline import mttkrp_via_matmul
@@ -96,15 +97,33 @@ def _resolve_kernel(
     seed: Union[None, int, np.random.Generator] = None,
     invalidation: str = "exact",
     invalidation_tol: float = 1e-2,
+    backend: Union[None, str, Backend] = None,
 ) -> SweepKernel:
     if isinstance(kernel, SweepKernel) or callable(kernel):
+        if backend is not None and get_backend(backend).name != "numpy":
+            raise ParameterError(
+                "backend selection applies only to named kernels; "
+                "explicit kernel objects manage their own execution backend"
+            )
         return as_sweep_kernel(kernel)
     check_kernel_name(kernel, KERNEL_NAMES)
+    exec_backend = get_backend(backend)
+    if exec_backend.name != "numpy" and kernel not in (
+        "einsum",
+        "dimtree",
+        "sampled-dimtree",
+    ):
+        raise ParameterError(
+            f"kernel {kernel!r} does not support non-default execution backends; "
+            "use 'einsum', 'dimtree', or 'sampled-dimtree'"
+        )
     if kernel == "dimtree":
         # A fresh engine per run: the tree binds to the run's tensor on the
         # first call and caches partial contractions across the whole run.
         return DimensionTreeKernel(
-            invalidation=invalidation, residual_tol=invalidation_tol
+            invalidation=invalidation,
+            residual_tol=invalidation_tol,
+            backend=exec_backend,
         )
     if kernel == "sampled-dimtree":
         # The fused engine: leverage draws served from the dimension tree's
@@ -116,6 +135,13 @@ def _resolve_kernel(
             seed=_kernel_seed(seed),
             invalidation=invalidation,
             residual_tol=invalidation_tol,
+            backend=exec_backend,
+        )
+    if kernel == "einsum":
+        return PerCallKernel(
+            lambda tensor, factors, mode: mttkrp(
+                tensor, factors, mode, backend=exec_backend
+            )
         )
     if kernel in ("sampled", "sampled-tree"):
         # Imported lazily: repro.sketch layers on this driver, so a module-level
@@ -145,6 +171,7 @@ def cp_als(
     kernel: Union[str, MTTKRPKernel] = "einsum",
     invalidation: str = "exact",
     invalidation_tol: float = 1e-2,
+    backend: Union[None, str, Backend] = None,
     warn_on_nonconvergence: bool = False,
 ) -> CPALSResult:
     """Fit a rank-``R`` CP decomposition with alternating least squares.
@@ -179,6 +206,12 @@ def cp_als(
         drift stays within ``invalidation_tol`` (see
         :class:`~repro.core.dimtree.FactorGate`).  Ignored by the per-call
         kernels and by explicitly constructed kernel instances.
+    backend:
+        Execution backend name or instance
+        (:func:`repro.backend.get_backend`) used by the named kernels that
+        support backend dispatch (``"einsum"``, ``"dimtree"``,
+        ``"sampled-dimtree"``).  Selecting a non-default backend for any
+        other kernel raises :class:`~repro.exceptions.ParameterError`.
     warn_on_nonconvergence:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` when the loop
         exhausts ``n_iter_max`` without meeting ``tol``.
@@ -191,7 +224,7 @@ def cp_als(
     rank = check_rank(rank)
     if data.ndim < 2:
         raise ParameterError("CP-ALS requires a tensor with at least 2 modes")
-    sweep_kernel = _resolve_kernel(kernel, seed, invalidation, invalidation_tol)
+    sweep_kernel = _resolve_kernel(kernel, seed, invalidation, invalidation_tol, backend)
 
     if isinstance(init, str):
         factors = initialize_factors(data, rank, method=init, seed=seed)

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import Backend, get_backend
 from repro.core.sweep_kernel import PerCallKernel, SweepKernel, check_kernel_name
 from repro.cp.als import cp_als, CPALSResult
 from repro.exceptions import ParameterError
@@ -125,6 +126,7 @@ def parallel_cp_als(
     init: Union[str, Sequence[np.ndarray]] = "random",
     invalidation: str = "exact",
     invalidation_tol: float = 1e-2,
+    backend: Union[None, str, Backend] = None,
 ) -> ParallelCPALSResult:
     """Run CP-ALS with every MTTKRP executed on the simulated parallel machine.
 
@@ -165,6 +167,12 @@ def parallel_cp_als(
         :func:`repro.cp.als.cp_als`: ``"residual"`` gates re-gathers, Gram
         All-Reduces, and cached partials on the factor's accumulated
         relative drift instead of invalidating on every replacement.
+    backend:
+        Execution backend for the per-rank local MTTKRPs of the ``"exact"``
+        kernel (:func:`repro.backend.get_backend`).  The sampled and
+        dimension-tree kernels manage their own execution; selecting a
+        non-default backend with them raises
+        :class:`~repro.exceptions.ParameterError`.
 
     Returns
     -------
@@ -176,6 +184,12 @@ def parallel_cp_als(
     if algorithm not in ("stationary", "general"):
         raise ParameterError("algorithm must be 'stationary' or 'general'")
     check_kernel_name(kernel, PARALLEL_KERNEL_NAMES, registry="parallel", allow_callable=False)
+    exec_backend = get_backend(backend)
+    if exec_backend.name != "numpy" and kernel != "exact":
+        raise ParameterError(
+            f"parallel kernel {kernel!r} does not support non-default execution "
+            "backends; use kernel='exact'"
+        )
     sampled = kernel in ("sampled", "sampled-tree")
     fused = kernel == "sampled-dimtree"
     if kernel != "exact" and algorithm != "stationary":
@@ -259,9 +273,15 @@ def parallel_cp_als(
 
         def exact_kernel(local_tensor, factors, mode):
             if algorithm == "stationary":
-                result = stationary_mttkrp(local_tensor, factors, mode, grid, machine=machine)
+                result = stationary_mttkrp(
+                    local_tensor, factors, mode, grid,
+                    machine=machine, backend=exec_backend,
+                )
             else:
-                result = general_mttkrp(local_tensor, factors, mode, grid, machine=machine)
+                result = general_mttkrp(
+                    local_tensor, factors, mode, grid,
+                    machine=machine, backend=exec_backend,
+                )
             return result.assemble()
 
         inner = PerCallKernel(exact_kernel)

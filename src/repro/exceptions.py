@@ -36,5 +36,9 @@ class GridError(ReproError, ValueError):
     """A processor grid cannot be formed with the requested parameters."""
 
 
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A registered execution backend's optional dependency is not installed."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative method (e.g. CP-ALS) stopped before reaching tolerance."""

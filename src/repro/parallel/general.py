@@ -11,10 +11,11 @@ is large relative to ``I / P`` (Section V-D, Section VI-B).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import Backend, get_backend
 from repro.core.kernels import local_mttkrp, mttkrp_flops
 from repro.exceptions import DistributionError
 from repro.parallel.collectives import all_gather, reduce_scatter
@@ -38,6 +39,7 @@ def general_mttkrp(
     *,
     machine: Optional[SimulatedMachine] = None,
     count_local_flops: bool = True,
+    backend: Union[None, str, Backend] = None,
 ) -> ParallelMTTKRPResult:
     """Run Algorithm 4 on a simulated machine.
 
@@ -57,6 +59,10 @@ def general_mttkrp(
         Optional pre-existing :class:`SimulatedMachine`.
     count_local_flops:
         Charge the atomic-multiply arithmetic cost of the local MTTKRPs.
+    backend:
+        Execution backend for the per-rank local MTTKRPs
+        (:func:`repro.backend.get_backend`); counted communication and
+        storage are backend-independent.
 
     Returns
     -------
@@ -64,6 +70,7 @@ def general_mttkrp(
     """
     data = as_ndarray(tensor)
     mode = check_mode(mode, data.ndim)
+    exec_backend = get_backend(backend)
     grid = ProcessorGrid(grid_dims)
     if len(grid.dims) != data.ndim + 1:
         raise DistributionError(
@@ -121,7 +128,9 @@ def general_mttkrp(
         for k in range(data.ndim):
             local_factors.append(None if k == mode else gathered_factors[rank][k])
         local_tensor = gathered_tensors[rank]
-        local_outputs[rank] = local_mttkrp(local_tensor, local_factors, mode)
+        local_outputs[rank] = local_mttkrp(
+            local_tensor, local_factors, mode, backend=exec_backend
+        )
         if count_local_flops:
             cols = len(dist.rank_columns(rank))
             machine.charge_flops(rank, mttkrp_flops(local_tensor.shape, max(cols, 1)))

@@ -14,10 +14,11 @@ can be reassembled and compared against a single-node reference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backend import Backend, get_backend
 from repro.core.kernels import local_mttkrp, mttkrp_flops
 from repro.exceptions import DistributionError
 from repro.parallel.collectives import all_gather, reduce_scatter
@@ -29,7 +30,7 @@ from repro.parallel.distribution import (
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.machine import SimulatedMachine
 from repro.tensor.dense import as_ndarray
-from repro.utils.validation import check_mode
+from repro.utils.validation import check_mode, infer_rank as _infer_rank
 
 
 @dataclass
@@ -71,6 +72,7 @@ def stationary_mttkrp(
     *,
     machine: Optional[SimulatedMachine] = None,
     count_local_flops: bool = True,
+    backend: Union[None, str, Backend] = None,
 ) -> ParallelMTTKRPResult:
     """Run Algorithm 3 on a simulated machine.
 
@@ -91,6 +93,10 @@ def stationary_mttkrp(
     count_local_flops:
         Charge the atomic-multiply arithmetic cost of the local MTTKRPs to the
         machine's per-rank flop counters.
+    backend:
+        Execution backend for the per-rank local MTTKRPs
+        (:func:`repro.backend.get_backend`); counted communication and
+        storage are backend-independent.
 
     Returns
     -------
@@ -98,6 +104,7 @@ def stationary_mttkrp(
     """
     data = as_ndarray(tensor)
     mode = check_mode(mode, data.ndim)
+    exec_backend = get_backend(backend)
     grid = ProcessorGrid(grid_dims)
     if machine is None:
         machine = SimulatedMachine(grid.n_procs)
@@ -132,7 +139,9 @@ def stationary_mttkrp(
         local_factors: List[Optional[np.ndarray]] = []
         for k in range(data.ndim):
             local_factors.append(None if k == mode else gathered_factors[rank][k])
-        local_outputs[rank] = local_mttkrp(block.data, local_factors, mode)
+        local_outputs[rank] = local_mttkrp(
+            block.data, local_factors, mode, backend=exec_backend
+        )
         if count_local_flops:
             machine.charge_flops(rank, mttkrp_flops(block.data.shape, dist.rank))
         _charge_stationary_storage(machine, rank, block.data, local_factors, local_outputs[rank])
@@ -154,13 +163,6 @@ def stationary_mttkrp(
     return ParallelMTTKRPResult(
         output=output, machine=machine, distribution=dist, grid_dims=tuple(grid.dims)
     )
-
-
-def _infer_rank(factors: Sequence[Optional[np.ndarray]], mode: int) -> int:
-    for k, f in enumerate(factors):
-        if k != mode and f is not None:
-            return int(np.asarray(f).shape[1])
-    raise ValueError("at least one input factor matrix is required")
 
 
 def _charge_stationary_storage(

@@ -17,10 +17,13 @@ Three executable algorithms are provided:
 
 from repro.sequential.machine import TwoLevelMemory, IOCounter
 from repro.sequential.block_size import (
+    DEFAULT_SPARSE_CHUNK_MEMORY_WORDS,
     max_block_size,
     block_size_is_valid,
     choose_block_size,
+    choose_sparse_chunks,
     minimum_memory_for_block,
+    sparse_chunk_working_set_words,
 )
 from repro.sequential.unblocked import sequential_unblocked_mttkrp
 from repro.sequential.blocked import sequential_blocked_mttkrp
@@ -33,6 +36,9 @@ __all__ = [
     "max_block_size",
     "block_size_is_valid",
     "choose_block_size",
+    "choose_sparse_chunks",
+    "sparse_chunk_working_set_words",
+    "DEFAULT_SPARSE_CHUNK_MEMORY_WORDS",
     "minimum_memory_for_block",
     "sequential_unblocked_mttkrp",
     "sequential_blocked_mttkrp",

@@ -15,6 +15,21 @@ import numpy as np
 from repro.exceptions import ParameterError, ShapeError
 
 
+def infer_rank(factors: Sequence, mode: int) -> int:
+    """Rank deduced from the first available input factor matrix.
+
+    The one shared rank-inference helper: every MTTKRP entry point (dense
+    einsum, sparse chunked, elementwise, parallel) that accepts ``None`` for
+    the output mode's factor routes through here, so the error type
+    (:class:`~repro.exceptions.ParameterError`, a :class:`ValueError`
+    subclass) and message are identical everywhere.
+    """
+    for k, f in enumerate(factors):
+        if k != mode and f is not None:
+            return int(np.asarray(f).shape[1])
+    raise ParameterError("at least one input factor matrix is required")
+
+
 def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
     """Validate that ``value`` is an integer >= ``minimum`` and return it.
 

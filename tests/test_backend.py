@@ -1,0 +1,136 @@
+"""Unit tests for the execution-backend protocol and registry."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    Backend,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.exceptions import BackendUnavailableError, ParameterError
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert set(backend_names()) >= {"numpy", "numba", "cupy"}
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backend_names()
+
+    def test_default_is_numpy(self):
+        assert get_backend(None).name == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_lookup_by_name(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_instance_passes_through(self):
+        backend = NumpyBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_raises_parameter_error(self):
+        with pytest.raises(ParameterError, match="unknown"):
+            get_backend("tpu")
+
+    def test_unavailable_backend_raises_dedicated_error(self):
+        unavailable = [
+            name for name in backend_names() if name not in available_backend_names()
+        ]
+        if not unavailable:
+            pytest.skip("every registered backend is installed here")
+        with pytest.raises(BackendUnavailableError):
+            get_backend(unavailable[0])
+
+    def test_backend_unavailable_error_is_runtime_error(self):
+        assert issubclass(BackendUnavailableError, RuntimeError)
+
+    def test_register_replaces_by_name(self):
+        original = get_backend("numpy")
+        replacement = NumpyBackend()
+        try:
+            assert register_backend(replacement) is replacement
+            assert get_backend("numpy") is replacement
+        finally:
+            register_backend(original)
+        assert get_backend("numpy") is original
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(ParameterError):
+            register_backend(object())
+
+
+class TestNumpyBackendOps:
+    def test_namespace_is_array_api(self):
+        xp = get_backend("numpy").namespace()
+        assert hasattr(xp, "asarray")
+
+    def test_asarray_round_trip(self):
+        backend = get_backend("numpy")
+        data = np.arange(6.0).reshape(2, 3)
+        native = backend.asarray(data)
+        assert np.array_equal(backend.to_numpy(native), data)
+
+    def test_scatter_add_rows_sums_duplicates(self):
+        backend = get_backend("numpy")
+        out = np.zeros((3, 2))
+        rows = np.array([0, 2, 0])
+        block = np.array([[1.0, 10.0], [2.0, 20.0], [4.0, 40.0]])
+        backend.scatter_add_rows(out, rows, block)
+        expected = np.array([[5.0, 50.0], [0.0, 0.0], [2.0, 20.0]])
+        assert np.array_equal(out, expected)
+
+    def test_scatter_add_rows_accepts_column_slice_view(self):
+        backend = get_backend("numpy")
+        full = np.zeros((4, 6))
+        rows = np.array([1, 1, 3])
+        block = np.ones((3, 2))
+        backend.scatter_add_rows(full[:, 2:4], rows, block)
+        assert full[1, 2] == 2.0 and full[3, 3] == 1.0
+        assert np.all(full[:, :2] == 0.0) and np.all(full[:, 4:] == 0.0)
+
+    def test_einsum_and_tensordot_match_numpy(self):
+        backend = get_backend("numpy")
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        assert np.allclose(backend.einsum("ij,jk->ik", a, b), a @ b)
+        assert np.allclose(backend.tensordot(a, b, ([1], [0])), a @ b)
+
+
+def _installed_optional_backends():
+    return [n for n in available_backend_names() if n != "numpy"]
+
+
+@pytest.mark.parametrize("name", ["numba", "cupy"])
+class TestOptionalBackendParity:
+    """Optional backends must agree with NumPy; skipped when not installed."""
+
+    def _backend_or_skip(self, name) -> Backend:
+        if name not in available_backend_names():
+            pytest.skip(f"backend {name!r} not installed")
+        return get_backend(name)
+
+    def test_scatter_matches_numpy(self, name):
+        backend = self._backend_or_skip(name)
+        rng = np.random.default_rng(1)
+        rows_np = rng.integers(0, 50, size=400)
+        block_np = rng.standard_normal((400, 8))
+        expected = np.zeros((50, 8))
+        get_backend("numpy").scatter_add_rows(expected, rows_np, block_np)
+
+        out = backend.zeros((50, 8), dtype=np.float64)
+        backend.scatter_add_rows(
+            out, backend.asarray(rows_np), backend.asarray(block_np)
+        )
+        backend.synchronize()
+        assert np.allclose(backend.to_numpy(out), expected, atol=1e-12)
+
+    def test_einsum_matches_numpy(self, name):
+        backend = self._backend_or_skip(name)
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal((4, 6)), rng.standard_normal((6, 3))
+        native = backend.einsum("ij,jk->ik", backend.asarray(a), backend.asarray(b))
+        assert np.allclose(backend.to_numpy(native), a @ b, atol=1e-12)

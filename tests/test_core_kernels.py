@@ -145,12 +145,17 @@ class TestFlopCounts:
         assert mttkrp_flops((4, 4), 8) == 2 * mttkrp_flops((4, 4), 4)
 
 
+def _float64_key(shape, mode, rank, n_operands):
+    """The cache key of an all-float64 NumPy-backend MTTKRP call."""
+    return ("numpy", (shape, mode, rank), ("float64",) * n_operands)
+
+
 class TestContractionPathCache:
     def test_path_cached_per_shape_mode_rank(self):
         _PATH_CACHE.clear()
         tensor, factors = problem((4, 5, 6), 3, seed=11)
         first = mttkrp(tensor, factors, 1)
-        assert ((4, 5, 6), 1, 3) in _PATH_CACHE
+        assert _float64_key((4, 5, 6), 1, 3, 3) in _PATH_CACHE
         entries = len(_PATH_CACHE)
         # same configuration: the cached path is reused, not recomputed
         second = mttkrp(tensor, factors, 1)
@@ -158,7 +163,30 @@ class TestContractionPathCache:
         assert np.array_equal(first, second)
         # a different mode is a different einsum: new entry, same results
         mttkrp(tensor, factors, 2)
-        assert ((4, 5, 6), 2, 3) in _PATH_CACHE
+        assert _float64_key((4, 5, 6), 2, 3, 3) in _PATH_CACHE
+
+    def test_dtype_is_part_of_the_key(self):
+        """float64 and float32 calls over the same shapes get distinct entries.
+
+        Regression test: the original key was ``(shape, mode, rank)`` only, so
+        a path planned for float64 operands was served to float32 calls (and
+        vice versa) even though einsum's intermediate-size tradeoffs differ by
+        itemsize.
+        """
+        _PATH_CACHE.clear()
+        tensor, factors = problem((4, 5, 6), 3, seed=21)
+        wide = mttkrp(tensor, factors, 1)
+        assert len(_PATH_CACHE) == 1
+        narrow = mttkrp(
+            np.asarray(tensor.data, dtype=np.float32),
+            [f.astype(np.float32) for f in factors],
+            1,
+        )
+        assert len(_PATH_CACHE) == 2
+        key64 = _float64_key((4, 5, 6), 1, 3, 3)
+        key32 = ("numpy", ((4, 5, 6), 1, 3), ("float32",) * 3)
+        assert key64 in _PATH_CACHE and key32 in _PATH_CACHE
+        assert np.allclose(wide, narrow, atol=1e-4)
 
     def test_cached_path_matches_reference(self):
         _PATH_CACHE.clear()
@@ -181,7 +209,7 @@ class TestContractionPathCache:
         _PATH_CACHE.clear()
         tensor, factors = problem((4, 5, 6), 3, seed=13)
         hot = mttkrp(tensor, factors, 0)
-        hot_key = ((4, 5, 6), 0, 3)
+        hot_key = _float64_key((4, 5, 6), 0, 3, 3)
         assert hot_key in _PATH_CACHE
         operands = (np.zeros((2, 3)), np.zeros((3, 2)))
         for i in range(_PATH_CACHE_MAX_ENTRIES):

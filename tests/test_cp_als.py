@@ -106,6 +106,45 @@ class TestCPALSOptions:
         with pytest.raises(ParameterError):
             cp_als(random_tensor((3, 3), seed=0), 2, kernel="gpu")
 
+    def test_explicit_numpy_backend_matches_default(self):
+        tensor = random_low_rank_tensor((6, 5, 4), 2, seed=40)
+        a = cp_als(tensor, 2, n_iter_max=8, seed=41, kernel="einsum")
+        b = cp_als(tensor, 2, n_iter_max=8, seed=41, kernel="einsum", backend="numpy")
+        assert np.allclose(a.fits, b.fits, atol=1e-12)
+
+    def test_backend_accepted_by_dimtree_kernels(self):
+        tensor = random_low_rank_tensor((6, 5, 4), 2, seed=42)
+        result = cp_als(
+            tensor, 2, n_iter_max=5, seed=43, kernel="dimtree", backend="numpy"
+        )
+        assert result.n_iterations >= 1
+
+    def test_non_default_backend_rejected_for_numpy_bound_kernels(self):
+        from repro.backend.numpy_backend import NumpyBackend
+
+        class OtherBackend(NumpyBackend):
+            name = "other"
+
+        tensor = random_tensor((4, 4, 4), seed=44)
+        for kernel in ("matmul", "sampled", "sampled-tree"):
+            with pytest.raises(ParameterError, match="does not support"):
+                cp_als(tensor, 2, kernel=kernel, backend=OtherBackend())
+
+    def test_non_default_backend_rejected_for_kernel_instances(self):
+        from repro.backend.numpy_backend import NumpyBackend
+        from repro.core.dimtree import DimensionTreeKernel
+
+        class OtherBackend(NumpyBackend):
+            name = "other"
+
+        tensor = random_tensor((4, 4, 4), seed=45)
+        with pytest.raises(ParameterError, match="manage their own"):
+            cp_als(tensor, 2, kernel=DimensionTreeKernel(), backend=OtherBackend())
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown execution backend"):
+            cp_als(random_tensor((3, 3), seed=0), 2, backend="tpu")
+
     def test_explicit_initial_factors(self):
         tensor = random_low_rank_tensor((5, 5, 5), 2, seed=16)
         init = initialize_factors(tensor, 2, method="svd")

@@ -30,6 +30,26 @@ class TestParallelCPALS:
         result = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=4, tol=0.0, seed=3)
         assert len(set(result.words_per_iteration)) == 1
 
+    def test_explicit_numpy_backend_matches_default(self, tensor):
+        default = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=3, tol=0.0, seed=2)
+        explicit = parallel_cp_als(
+            tensor, 2, n_procs=8, n_iter_max=3, tol=0.0, seed=2, backend="numpy"
+        )
+        assert np.allclose(default.als.fits, explicit.als.fits, atol=1e-12)
+        assert default.total_words == explicit.total_words
+
+    def test_non_default_backend_rejected_for_non_exact_kernels(self, tensor):
+        from repro.backend.numpy_backend import NumpyBackend
+
+        class OtherBackend(NumpyBackend):
+            name = "other"
+
+        for kernel in ("dimtree", "sampled", "sampled-tree", "sampled-dimtree"):
+            with pytest.raises(ParameterError, match="does not support"):
+                parallel_cp_als(
+                    tensor, 2, n_procs=8, kernel=kernel, backend=OtherBackend()
+                )
+
     def test_general_algorithm_option(self, tensor):
         result = parallel_cp_als(
             tensor, 2, n_procs=8, algorithm="general", n_iter_max=2, tol=0.0, seed=4

@@ -4,10 +4,14 @@ import pytest
 
 from repro.exceptions import ParameterError
 from repro.sequential.block_size import (
+    DEFAULT_SPARSE_CHUNK_MEMORY_WORDS,
+    MAX_RCHUNK,
     block_size_is_valid,
     choose_block_size,
+    choose_sparse_chunks,
     max_block_size,
     minimum_memory_for_block,
+    sparse_chunk_working_set_words,
     working_set_words,
 )
 
@@ -75,3 +79,48 @@ class TestChooseBlockSize:
 
     def test_minimum_one(self):
         assert choose_block_size(4, 5) == 1
+
+
+class TestSparseChunkWorkingSet:
+    def test_formula(self):
+        # N * nzchunk * rchunk + N * nzchunk
+        assert sparse_chunk_working_set_words(100, 4, 3) == 3 * 100 * 4 + 3 * 100
+        assert sparse_chunk_working_set_words(1, 1, 2) == 2 + 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            sparse_chunk_working_set_words(0, 4, 3)
+
+
+class TestChooseSparseChunks:
+    def test_working_set_fits_budget(self):
+        for n_modes in (2, 3, 4, 5):
+            for rank in (1, 8, 32, 100):
+                nzchunk, rchunk = choose_sparse_chunks(n_modes, rank)
+                assert (
+                    sparse_chunk_working_set_words(nzchunk, rchunk, n_modes)
+                    <= DEFAULT_SPARSE_CHUNK_MEMORY_WORDS
+                )
+
+    def test_rchunk_capped_at_max_and_rank(self):
+        assert choose_sparse_chunks(3, 4)[1] == 4
+        assert choose_sparse_chunks(3, 100)[1] == MAX_RCHUNK
+
+    def test_nzchunk_grows_with_memory(self):
+        small = choose_sparse_chunks(3, 16, 1 << 14)[0]
+        large = choose_sparse_chunks(3, 16, 1 << 22)[0]
+        assert large > small
+
+    def test_tiny_memory_still_positive(self):
+        nzchunk, rchunk = choose_sparse_chunks(3, 32, 8)
+        assert nzchunk >= 1 and rchunk >= 1
+
+    def test_default_magnitudes_match_toolbox(self):
+        """The defaults land at the Tensor Toolbox v3.3 magnitudes."""
+        nzchunk, rchunk = choose_sparse_chunks(3, 32)
+        assert 1_000 <= nzchunk <= 100_000
+        assert rchunk == 32
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ParameterError):
+            choose_sparse_chunks(3, 8, alpha=1.0)

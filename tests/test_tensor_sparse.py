@@ -6,7 +6,12 @@ import pytest
 from repro.core.kernels import mttkrp
 from repro.exceptions import ParameterError, ShapeError
 from repro.tensor.random import random_factors
-from repro.tensor.sparse import SparseTensor, sparse_mttkrp, stationary_sparse_communication
+from repro.tensor.sparse import (
+    SparseTensor,
+    sparse_mttkrp,
+    sparse_mttkrp_unchunked,
+    stationary_sparse_communication,
+)
 
 
 class TestSparseTensor:
@@ -71,6 +76,37 @@ class TestSparseMTTKRP:
         factors = random_factors((4, 4, 4), 2, seed=7)
         factors[1] = None
         assert sparse_mttkrp(st, factors, 1).shape == (4, 2)
+
+    @pytest.mark.parametrize("kernel", [sparse_mttkrp, sparse_mttkrp_unchunked])
+    def test_duplicate_coordinates_sum(self, kernel):
+        """Duplicates-summed contract holds at the MTTKRP level.
+
+        Regression test: both kernels must agree with the dense kernel on
+        the *summed* tensor, i.e. a duplicated entry contributes twice.
+        """
+        coords = [[1, 0, 2], [1, 0, 2], [0, 1, 1]]
+        st = SparseTensor(shape=(3, 3, 3), coords=coords, values=[1.5, 2.5, -1.0])
+        factors = random_factors((3, 3, 3), 2, seed=11)
+        dense = st.to_dense()  # sums the duplicate into one entry
+        for mode in range(3):
+            np.testing.assert_allclose(
+                kernel(st, factors, mode), mttkrp(dense, factors, mode), atol=1e-12
+            )
+
+    def test_unchunked_allocates_no_ones_temp(self):
+        """The first factor gather broadcasts directly against the values.
+
+        Guards the (nnz, R) ``np.ones`` pre-multiply from creeping back: with
+        a single input factor the contribution array must be exactly
+        ``values[:, None] * A[coords]``, bit for bit.
+        """
+        st = SparseTensor.random((6, 5), 0.4, seed=12)
+        factor = random_factors((6, 5), 3, seed=13)[1]
+        expected = np.zeros((6, 3))
+        np.add.at(
+            expected, st.coords[:, 0], st.values[:, None] * factor[st.coords[:, 1], :]
+        )
+        assert np.array_equal(sparse_mttkrp_unchunked(st, [None, factor], 0), expected)
 
 
 class TestSparseCommunicationEstimate:
