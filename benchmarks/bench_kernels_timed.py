@@ -1,24 +1,37 @@
-"""Timed sparse-MTTKRP kernel race: chunked vs. the legacy ``np.add.at`` path.
+"""Timed MTTKRP kernel races: sparse chunked vs. legacy, dense blocked vs. einsum.
 
 Records ``benchmarks/BENCH_kernels_timed.json`` (a *timed* record like
 ``als_dimtree_timing.json``: wall-clock numbers vary run to run, so the file
-is gitignored and never byte-checked in CI).  Each row races the unchunked
-reference kernel against the chunked kernel on every requested backend,
-taking the median of at least three repetitions per candidate
-(:func:`repro.observe.median_time`) with per-repetition p50/p99 sourced from
-the tracer's span histograms, and then checks the wall-clock model of
-:mod:`repro.costmodel.kernel_timing` against reality:
+is gitignored and never byte-checked in CI).  Sparse rows race the unchunked
+reference kernel against the chunked kernel on every requested backend (and,
+for the threaded rows, at every requested thread count); dense rows race the
+monolithic einsum kernel against the cache-blocked tiled GEMM of
+:mod:`repro.core.blocked_mttkrp`.  Every candidate takes the median of at
+least three repetitions (:func:`repro.observe.median_time`) with
+per-repetition p50/p99 sourced from the tracer's span histograms, and then
+the wall-clock model of :mod:`repro.costmodel.kernel_timing` is held against
+reality:
 
-* the modelled winner must equal the measured winner on **every** row, and
-* at least one row must have the chunked kernel beating ``np.add.at``.
+* the modelled winner must equal the measured winner on **every** row,
+* at least one sparse row must have the chunked kernel beating ``np.add.at``,
+* at least one dense row must have the blocked kernel beating einsum, and
+* on a multi-core machine, at least one row must have a threaded candidate
+  beating serial execution.  On a single-core machine (the recording
+  container has one CPU) a threaded candidate can never genuinely win — the
+  core-count-aware model predicts exactly that, so threaded rows there
+  demonstrate the model pricing executor dispatch and partial-fold overhead
+  correctly instead; rows that *need* real parallelism to be decisive are
+  skipped and recorded with a reason.
 
 Environment knobs (CI-friendly, mirroring the other benchmarks' style):
 
 ``BENCH_KERNELS_QUICK=1``
-    Run only the two decisive rows (one chunked win, one unchunked win).
+    Run only the decisive quick rows (sparse chunked/unchunked wins, dense
+    blocked/einsum wins, one threaded-overhead row).
 ``BENCH_KERNELS_BACKENDS=numpy,numba``
-    Comma-separated backends to race (default ``numpy``; unavailable
-    backends are skipped with a note in the JSON, never a failure).
+    Comma-separated backends to race on the sparse rows (default ``numpy``;
+    unavailable backends are skipped with a note in the JSON, never a
+    failure).
 ``BENCH_KERNELS_TIMED_JSON=/path/to.json``
     Output path override.
 """
@@ -33,9 +46,15 @@ import numpy as np
 
 from conftest import emit
 from repro.backend import available_backend_names, get_backend
+from repro.backend.parallel import effective_cpu_count
+from repro.core.blocked_mttkrp import blocked_mttkrp
+from repro.core.kernels import mttkrp
 from repro.costmodel.kernel_timing import (
+    EINSUM_LABEL,
     UNCHUNKED_LABEL,
     chunked_label,
+    dense_blocked_label,
+    predicted_dense_timings,
     predicted_sparse_timings,
 )
 from repro.observe.tracer import median_time, trace, tracing
@@ -45,22 +64,51 @@ from repro.tensor.sparse import SparseTensor, sparse_mttkrp, sparse_mttkrp_unchu
 REPEATS = 3
 
 #: name, shape, nnz, rank, forced (nzchunk, rchunk) or None for the machine
-#: model's choice, and the regime the row demonstrates.
-CASES = [
+#: model's choice, thread counts to race, minimum cores the row needs to be
+#: decisive, and (in the comments) the regime the row demonstrates.
+SPARSE_CASES = [
     # Large nonzero count at full rank: the dense (nnz, R) temporary of the
     # legacy path spills fast memory and buffered np.add.at crawls — the
     # regime the chunked kernel exists for.
-    ("large-3way", (200, 200, 200), 200_000, 32, None),
+    ("large-3way", (200, 200, 200), 200_000, 32, None, (1,), 1),
     # Tiny problem with deliberately tiny forced chunks: per-chunk Python
     # overhead dominates and the single-pass path wins.
-    ("tiny-forced-chunks", (60, 60, 60), 2_000, 8, (64, 2)),
+    ("tiny-forced-chunks", (60, 60, 60), 2_000, 8, (64, 2), (1,), 1),
     # Wider-than-cache mid-rank sweep and a 4-way tensor, both on the machine
     # model's default chunks (full mode only).
-    ("wide-3way", (300, 300, 300), 400_000, 16, None),
-    ("4way", (40, 40, 40, 40), 100_000, 24, None),
+    ("wide-3way", (300, 300, 300), 400_000, 16, None, (1,), 1),
+    ("4way", (40, 40, 40, 40), 100_000, 24, None, (1,), 1),
+    # Forced tiny chunks with 2 threads: hundreds of tasks, each paying
+    # dispatch plus a zeroed-and-folded partial accumulator.  On one core
+    # the serial chunked path wins decisively (the model prices the thread
+    # overhead); with real cores the compute halves and t2 takes the row.
+    ("threaded-tiny-chunks", (200, 200, 200), 200_000, 32, (2_000, 8), (1, 2), 1),
+    # Default chunks with 2 threads: only ~20 fat tasks, so the serial/t2
+    # margin is pure parallel speedup — decisive only with real cores.
+    ("threaded-large", (200, 200, 200), 200_000, 32, None, (1, 2), 2),
 ]
 
-QUICK_CASE_NAMES = ("large-3way", "tiny-forced-chunks")
+#: name, shape, rank, forced tiles (int or None for the machine model's
+#: choice), thread counts to race, minimum cores the row needs.
+DENSE_CASES = [
+    # Big tensor at low rank: einsum's non-BLAS reduce pass over the
+    # contraction intermediate crawls and the tiled GEMM wins ~2x.
+    ("dense-large-lowR", (300, 300, 300), 16, None, (1,), 1),
+    # Deliberately tiny forced tiles: a thousand tile iterations of Python
+    # overhead — the monolithic einsum wins decisively.
+    ("dense-tiny-tiles", (80, 80, 80), 32, 8, (1,), 1),
+    # The blocked win re-raced with 2 threads over disjoint output-row
+    # tiles: pure parallel speedup, decisive only with real cores.
+    ("dense-threaded", (300, 300, 300), 16, None, (1, 2), 2),
+]
+
+QUICK_CASE_NAMES = (
+    "large-3way",
+    "tiny-forced-chunks",
+    "threaded-tiny-chunks",
+    "dense-large-lowR",
+    "dense-tiny-tiles",
+)
 
 
 def _sparse_problem(shape, nnz, rank, seed):
@@ -79,31 +127,21 @@ def _requested_backends():
     return [name.strip() for name in raw.split(",") if name.strip()]
 
 
-def _race_row(name, shape, nnz, rank, forced, backends, seed):
-    tensor, factors = _sparse_problem(shape, nnz, rank, seed)
-    nzchunk, rchunk = forced if forced else (None, None)
-    mode = 0
-
-    candidates = {UNCHUNKED_LABEL: lambda: sparse_mttkrp_unchunked(tensor, factors, mode)}
-    for backend_name in backends:
-        candidates[chunked_label(backend_name)] = (
-            lambda b=backend_name: sparse_mttkrp(
-                tensor, factors, mode, nzchunk=nzchunk, rchunk=rchunk, backend=b
-            )
-        )
-
+def _race(candidates, rtol=0.0, atol=1e-12):
+    """Median-time every candidate once warmed; cross-check the results."""
     measured = {}
     percentiles = {}
     reference = None
     with tracing() as session:
         for label, fn in candidates.items():
             # Warm once outside the timed repetitions (Numba JIT, CuPy
-            # transfers) so the medians time the steady state.
+            # transfers, einsum path planning) so the medians time the
+            # steady state.
             warm = fn()
             if reference is None:
                 reference = warm
             else:
-                np.testing.assert_allclose(warm, reference, atol=1e-12, rtol=0.0)
+                np.testing.assert_allclose(warm, reference, atol=atol, rtol=rtol)
 
             def traced(label=label, fn=fn):
                 with trace(label):
@@ -113,13 +151,43 @@ def _race_row(name, shape, nnz, rank, forced, backends, seed):
             measured[label] = seconds
             summary = session.metrics.histogram_summary(f"span.{label}.seconds")
             percentiles[label] = {"p50": summary["p50"], "p99": summary["p99"]}
+    return measured, percentiles
 
+
+def _race_sparse_row(name, shape, nnz, rank, forced, threads_options, backends, seed):
+    tensor, factors = _sparse_problem(shape, nnz, rank, seed)
+    nzchunk, rchunk = forced if forced else (None, None)
+    mode = 0
+
+    candidates = {UNCHUNKED_LABEL: lambda: sparse_mttkrp_unchunked(tensor, factors, mode)}
+    for backend_name in backends:
+        # Threaded chunk execution is numpy-only (it must preserve the
+        # serial accumulation order); other backends race serially.
+        row_threads = threads_options if backend_name == "numpy" else (1,)
+        for threads in row_threads:
+            candidates[chunked_label(backend_name, threads)] = (
+                lambda b=backend_name, t=threads: sparse_mttkrp(
+                    tensor, factors, mode,
+                    nzchunk=nzchunk, rchunk=rchunk, backend=b, threads=t,
+                )
+            )
+
+    measured, percentiles = _race(candidates)
     predicted = predicted_sparse_timings(
-        nnz, rank, len(shape), nzchunk=nzchunk, rchunk=rchunk, backends=backends
+        nnz,
+        rank,
+        len(shape),
+        nzchunk=nzchunk,
+        rchunk=rchunk,
+        backends=backends,
+        threads_options=threads_options,
+        out_rows=shape[mode],
     )
-    measured_winner = min(measured, key=measured.get)
-    predicted_winner = min(predicted, key=predicted.get)
+    # Only hold the model to candidates that actually ran (non-numpy
+    # backends race serially).
+    predicted = {label: predicted[label] for label in measured if label in predicted}
     return {
+        "kind": "sparse",
         "case": name,
         "shape": list(shape),
         "nnz": nnz,
@@ -127,12 +195,56 @@ def _race_row(name, shape, nnz, rank, forced, backends, seed):
         "nzchunk": nzchunk,
         "rchunk": rchunk,
         "backends": list(backends),
+        "threads_options": list(threads_options),
         "median_seconds": measured,
         "span_percentiles": percentiles,
         "predicted_seconds": predicted,
-        "measured_winner": measured_winner,
-        "predicted_winner": predicted_winner,
+        "measured_winner": min(measured, key=measured.get),
+        "predicted_winner": min(predicted, key=predicted.get),
     }
+
+
+def _race_dense_row(name, shape, rank, tiles, threads_options, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    factors = random_factors(shape, rank, seed=seed + 1)
+    mode = 0
+
+    candidates = {EINSUM_LABEL: lambda: mttkrp(data, factors, mode)}
+    for threads in threads_options:
+        candidates[dense_blocked_label(threads)] = (
+            lambda t=threads: blocked_mttkrp(
+                data, factors, mode, tiles=tiles, threads=t
+            )
+        )
+
+    # The blocked kernel reassociates the per-row sums over non-output
+    # tiles, so cross-check with a reassociation-sized tolerance (the
+    # bitwise contracts are covered by the unit tests).
+    measured, percentiles = _race(candidates, rtol=1e-9, atol=1e-8)
+    predicted = predicted_dense_timings(
+        shape, rank, mode=mode, tiles=tiles, threads_options=threads_options
+    )
+    return {
+        "kind": "dense",
+        "case": name,
+        "shape": list(shape),
+        "rank": rank,
+        "tiles": tiles,
+        "threads_options": list(threads_options),
+        "median_seconds": measured,
+        "span_percentiles": percentiles,
+        "predicted_seconds": predicted,
+        "measured_winner": min(measured, key=measured.get),
+        "predicted_winner": min(predicted, key=predicted.get),
+    }
+
+
+def _winner_threads(label):
+    """Thread count encoded in a timing label (1 for serial labels)."""
+    if ":t" in label:
+        return int(label.rsplit(":t", 1)[1])
+    return 1
 
 
 def test_bench_kernels_timed_json():
@@ -144,12 +256,32 @@ def test_bench_kernels_timed_json():
     skipped_backends = sorted(set(requested) - set(backends))
     if not backends:
         backends = ["numpy"]
+    cores = effective_cpu_count()
 
-    cases = [c for c in CASES if not quick or c[0] in QUICK_CASE_NAMES]
-    rows = [
-        _race_row(name, shape, nnz, rank, forced, backends, seed=5)
-        for name, shape, nnz, rank, forced in cases
-    ]
+    rows = []
+    skipped_rows = []
+    for name, shape, nnz, rank, forced, threads_options, min_cores in SPARSE_CASES:
+        if quick and name not in QUICK_CASE_NAMES:
+            continue
+        if cores < min_cores:
+            skipped_rows.append(
+                {"case": name, "reason": f"needs >= {min_cores} cores, have {cores}"}
+            )
+            continue
+        rows.append(
+            _race_sparse_row(
+                name, shape, nnz, rank, forced, threads_options, backends, seed=5
+            )
+        )
+    for name, shape, rank, tiles, threads_options, min_cores in DENSE_CASES:
+        if quick and name not in QUICK_CASE_NAMES:
+            continue
+        if cores < min_cores:
+            skipped_rows.append(
+                {"case": name, "reason": f"needs >= {min_cores} cores, have {cores}"}
+            )
+            continue
+        rows.append(_race_dense_row(name, shape, rank, tiles, threads_options, seed=7))
 
     target = Path(
         os.environ.get(
@@ -163,7 +295,9 @@ def test_bench_kernels_timed_json():
         "quick": quick,
         "backends": backends,
         "skipped_backends": skipped_backends,
+        "cpu_count": cores,
         "rows": rows,
+        "skipped_rows": skipped_rows,
     }
     target.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -178,15 +312,30 @@ def test_bench_kernels_timed_json():
             f"  {row['case']:>20} {timing}  winner={row['measured_winner']}"
             f" (predicted {row['predicted_winner']})"
         )
-    emit("timed sparse MTTKRP kernel race", "\n".join(lines))
+    for row in skipped_rows:
+        lines.append(f"  {row['case']:>20} skipped: {row['reason']}")
+    emit("timed MTTKRP kernel races", "\n".join(lines))
 
-    # The cost model must call every recorded row correctly, and the chunked
-    # kernel must demonstrably beat the legacy np.add.at path somewhere.
+    # The cost model must call every recorded row correctly; the chunked
+    # kernel must demonstrably beat the legacy np.add.at path somewhere, and
+    # the blocked dense kernel must beat einsum somewhere.
     for row in rows:
         assert row["predicted_winner"] == row["measured_winner"], row["case"]
+    sparse_rows = [row for row in rows if row["kind"] == "sparse"]
+    dense_rows = [row for row in rows if row["kind"] == "dense"]
     assert any(
-        row["measured_winner"] != UNCHUNKED_LABEL for row in rows
+        row["measured_winner"] != UNCHUNKED_LABEL for row in sparse_rows
     ), "no recorded configuration where the chunked kernel wins"
+    assert any(
+        row["measured_winner"] != EINSUM_LABEL for row in dense_rows
+    ), "no recorded configuration where the blocked dense kernel wins"
+    # Threaded candidates can only genuinely win with real cores; on a
+    # single-core machine the model predicts (and the rows confirm) that
+    # serial execution keeps every row.
+    if cores > 1:
+        assert any(
+            _winner_threads(row["measured_winner"]) > 1 for row in rows
+        ), "multi-core machine but no recorded row where threads > 1 wins"
 
 
 def test_backend_registry_reachable():

@@ -2,10 +2,17 @@
 
 One registry of named :class:`Backend` instances — NumPy always, Numba and
 CuPy when importable — resolved by :func:`get_backend` and threaded through
-:func:`repro.core.kernels.mttkrp`, the sparse chunked kernel, the
-dimension-tree engines, and both CP-ALS drivers via their ``backend=``
-parameter.  Kernel registry names stay backend-agnostic: ``kernel="einsum"``
-means the same contraction on whichever backend is selected.
+:func:`repro.core.kernels.mttkrp`, the blocked dense and chunked sparse
+kernels, the dimension-tree engines, and both CP-ALS drivers via their
+``backend=`` parameter.  Kernel registry names stay backend-agnostic:
+``kernel="einsum"`` means the same contraction on whichever backend is
+selected.
+
+Two execution services live beside the registry: the thread-parallel chunk
+executor of :mod:`repro.backend.parallel` (deterministic fixed-order
+reduction, thread count from ``REPRO_THREADS``) and the workspace pool of
+:mod:`repro.backend.workspace` (reusable chunk/tile temporaries and
+backend-resident factor mirrors shared across chunks and ALS sweeps).
 """
 
 from repro.backend.base import (
@@ -19,6 +26,21 @@ from repro.backend.base import (
 from repro.backend.cupy_backend import CupyBackend
 from repro.backend.numba_backend import NumbaBackend
 from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.parallel import (
+    MAX_THREADS,
+    THREADS_ENV_VAR,
+    effective_cpu_count,
+    ordered_reduce,
+    parallel_map,
+    resolve_threads,
+)
+from repro.backend.workspace import (
+    DEFAULT_WORKSPACE_CAPACITY_WORDS,
+    ResidentFactors,
+    WorkspacePool,
+    default_pool,
+    reset_default_pool,
+)
 
 # Registration order is the preference order reports/benchmarks display.
 register_backend(NumpyBackend())
@@ -35,4 +57,15 @@ __all__ = [
     "backend_names",
     "get_backend",
     "register_backend",
+    "THREADS_ENV_VAR",
+    "MAX_THREADS",
+    "effective_cpu_count",
+    "resolve_threads",
+    "parallel_map",
+    "ordered_reduce",
+    "DEFAULT_WORKSPACE_CAPACITY_WORDS",
+    "WorkspacePool",
+    "ResidentFactors",
+    "default_pool",
+    "reset_default_pool",
 ]

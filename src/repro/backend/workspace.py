@@ -1,0 +1,266 @@
+"""Workspace pool: reusable tile/chunk temporaries and resident factor buffers.
+
+The blocked dense kernel and the chunked sparse kernel allocate the same
+small set of scratch shapes over and over — a gathered-factor block, a
+contribution block, a matricized tile, a Khatri-Rao row block — once per
+chunk, thousands of chunks per ALS sweep, dozens of sweeps per run.  A
+:class:`WorkspacePool` turns those allocations into checkouts from a
+per-``(backend, shape, dtype)`` arena: the first borrow of a shape allocates
+(``workspace.miss``), every later borrow reuses a released buffer
+(``workspace.hit``), and buffers whose shape has gone cold are dropped when
+the pooled free words exceed the capacity (``workspace.evict``) — oldest
+released first, so steady-state hot shapes survive exactly like the einsum
+path cache's LRU.  The pool is thread-safe: chunk tasks running on the
+shared executor of :mod:`repro.backend.parallel` borrow and release
+concurrently under one lock (the lock guards free-list bookkeeping only,
+never the arithmetic on borrowed buffers, which each task owns exclusively).
+
+:class:`ResidentFactors` is the pool's cross-sweep companion — the
+"device-resident factors" remainder of ROADMAP item 2.  The dimension-tree
+engine keeps its cached *partials* backend-native across sweeps, but it used
+to re-upload every *factor matrix* on every contraction.  A
+:class:`ResidentFactors` mirror holds one backend-native copy per mode and
+re-converts only when the host array is actually replaced (detected by
+identity, the same discipline :class:`repro.core.dimtree.FactorGate` uses):
+during one ALS sweep each factor is consumed by ``N - 1`` mode updates but
+replaced once, so most lookups are hits (``workspace.factor.hit`` /
+``workspace.factor.miss``).  On the NumPy backend the conversion is free and
+the mirror only contributes counters; on a device backend every hit is one
+host-to-device transfer saved.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backend.base import Backend, get_backend
+from repro.exceptions import ParameterError
+from repro.observe.instrument import inc as observe_inc, observe_value
+
+__all__ = [
+    "DEFAULT_WORKSPACE_CAPACITY_WORDS",
+    "WorkspacePool",
+    "ResidentFactors",
+    "default_pool",
+    "reset_default_pool",
+]
+
+#: Free-list capacity of the default pool, in words: 2^22 words = 32 MiB of
+#: float64 — a few times the kernels' fast-memory chunk budget, so every
+#: scratch shape of a steady-state ALS run stays pooled while a burst of
+#: one-off shapes (ragged edge tiles of a cold problem) gets shed.
+DEFAULT_WORKSPACE_CAPACITY_WORDS = 1 << 22
+
+
+def _words(shape: Tuple[int, ...]) -> int:
+    total = 1
+    for dim in shape:
+        total *= int(dim)
+    return total
+
+
+class WorkspacePool:
+    """Per-``(backend, shape, dtype)`` arena of reusable scratch buffers."""
+
+    def __init__(self, capacity_words: int = DEFAULT_WORKSPACE_CAPACITY_WORDS) -> None:
+        if int(capacity_words) < 1:
+            raise ParameterError("capacity_words must be positive")
+        self.capacity_words = int(capacity_words)
+        #: key -> free buffers of that key; the OrderedDict order over keys is
+        #: release recency (oldest first), the eviction order.
+        self._free: "OrderedDict[Tuple[str, Tuple[int, ...], str], List]" = OrderedDict()
+        #: id(buffer) -> key for buffers currently checked out.
+        self._borrowed: Dict[int, Tuple[str, Tuple[int, ...], str]] = {}
+        self._lock = threading.Lock()
+        self._free_words = 0
+        self._borrowed_words = 0
+        self.high_water_words = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def pooled_words(self) -> int:
+        """Words currently held in free lists (bounded by ``capacity_words``)."""
+        return self._free_words
+
+    @property
+    def outstanding_words(self) -> int:
+        """Words currently checked out to callers."""
+        return self._borrowed_words
+
+    # -- borrow / release ----------------------------------------------------
+    def borrow(
+        self,
+        shape: Sequence[int],
+        dtype=np.float64,
+        *,
+        backend: Union[None, str, Backend] = None,
+        zero: bool = False,
+    ):
+        """Check out a buffer of ``shape``/``dtype`` on ``backend``.
+
+        Reused buffers carry stale contents unless ``zero=True``; callers
+        that overwrite every element (``np.matmul(..., out=...)``,
+        ``np.copyto``) should leave ``zero`` off.
+        """
+        exec_backend = get_backend(backend)
+        shape = tuple(int(dim) for dim in shape)
+        dtype_name = str(np.dtype(dtype))
+        key = (exec_backend.name, shape, dtype_name)
+        words = _words(shape)
+        with self._lock:
+            free_list = self._free.get(key)
+            if free_list:
+                buffer = free_list.pop()
+                if not free_list:
+                    del self._free[key]
+                self._free_words -= words
+                self.hits += 1
+                hit = True
+            else:
+                buffer = None
+                self.misses += 1
+                hit = False
+            self._borrowed_words += words
+            total = self._free_words + self._borrowed_words
+            new_high_water = total > self.high_water_words
+            if new_high_water:
+                self.high_water_words = total
+        observe_inc("workspace.hit" if hit else "workspace.miss")
+        if new_high_water:
+            observe_value("workspace.high_water_words", float(self.high_water_words))
+        if buffer is None:
+            buffer = exec_backend.zeros(shape, dtype=np.dtype(dtype_name))
+        elif zero:
+            buffer[...] = 0
+        with self._lock:
+            self._borrowed[id(buffer)] = key
+        return buffer
+
+    def release(self, buffer) -> None:
+        """Return a borrowed buffer to its free list (evicting if over capacity)."""
+        evicted = 0
+        with self._lock:
+            key = self._borrowed.pop(id(buffer), None)
+            if key is None:
+                raise ParameterError("release of a buffer this pool did not lend")
+            words = _words(key[1])
+            self._borrowed_words -= words
+            self._free.setdefault(key, []).append(buffer)
+            self._free.move_to_end(key)
+            self._free_words += words
+            # Shed the oldest-released shapes until the free arena fits.
+            while self._free_words > self.capacity_words and self._free:
+                old_key, old_list = next(iter(self._free.items()))
+                old_list.pop(0)
+                if not old_list:
+                    del self._free[old_key]
+                self._free_words -= _words(old_key[1])
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            observe_inc("workspace.evict", evicted)
+
+    @contextmanager
+    def lease(
+        self,
+        shape: Sequence[int],
+        dtype=np.float64,
+        *,
+        backend: Union[None, str, Backend] = None,
+        zero: bool = False,
+    ):
+        """Context-managed :meth:`borrow` — released on exit, even on error."""
+        buffer = self.borrow(shape, dtype, backend=backend, zero=zero)
+        try:
+            yield buffer
+        finally:
+            self.release(buffer)
+
+
+class ResidentFactors:
+    """Backend-native mirrors of a factor list, refreshed on identity change.
+
+    One slot per mode: :meth:`native` converts the host factor on first sight
+    or whenever the host array object is replaced (``workspace.factor.miss``)
+    and serves the cached native array otherwise (``workspace.factor.hit``).
+    In-place mutations are invisible to the identity check — exactly the
+    contract :class:`~repro.core.dimtree.FactorGate` already imposes on the
+    ALS drivers, which always rebind factor slots to fresh arrays.
+    """
+
+    def __init__(self, n_modes: int, backend: Union[None, str, Backend] = None) -> None:
+        if int(n_modes) < 1:
+            raise ParameterError("n_modes must be positive")
+        self._backend = get_backend(backend)
+        self._hosts: List[Optional[np.ndarray]] = [None] * int(n_modes)
+        self._natives: List[Optional[object]] = [None] * int(n_modes)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def backend(self) -> Backend:
+        return self._backend
+
+    def native(self, mode: int, host: np.ndarray):
+        """The backend-native array for ``host``, uploaded at most once per replacement."""
+        if host is None:
+            raise ParameterError("cannot make a None factor resident")
+        if not 0 <= int(mode) < len(self._hosts):
+            raise ParameterError(
+                f"mode {mode} out of range for {len(self._hosts)} resident slots"
+            )
+        mode = int(mode)
+        if self._hosts[mode] is host:
+            self.hits += 1
+            observe_inc("workspace.factor.hit")
+        else:
+            self.misses += 1
+            observe_inc("workspace.factor.miss")
+            self._natives[mode] = self._backend.asarray(np.asarray(host))
+            self._hosts[mode] = host
+        return self._natives[mode]
+
+    def invalidate(self, mode: Optional[int] = None) -> None:
+        """Drop one slot's mirror (or all of them) — next lookup re-uploads."""
+        if mode is None:
+            for k in range(len(self._hosts)):
+                self._hosts[k] = None
+                self._natives[k] = None
+            return
+        if not 0 <= int(mode) < len(self._hosts):
+            raise ParameterError(
+                f"mode {mode} out of range for {len(self._hosts)} resident slots"
+            )
+        self._hosts[int(mode)] = None
+        self._natives[int(mode)] = None
+
+
+#: Process-wide default pool, shared by every kernel call that does not pass
+#: its own.  Chunk scratch shapes repeat across kernels, sweeps, and whole
+#: ALS runs, so one arena serves them all; tests swap it out via
+#: :func:`reset_default_pool`.
+_DEFAULT_POOL = WorkspacePool()
+_DEFAULT_POOL_LOCK = threading.Lock()
+
+
+def default_pool() -> WorkspacePool:
+    """The process-wide :class:`WorkspacePool` kernels fall back to."""
+    return _DEFAULT_POOL
+
+
+def reset_default_pool(
+    capacity_words: int = DEFAULT_WORKSPACE_CAPACITY_WORDS,
+) -> WorkspacePool:
+    """Replace the default pool with a fresh one (test isolation hook)."""
+    global _DEFAULT_POOL
+    with _DEFAULT_POOL_LOCK:
+        _DEFAULT_POOL = WorkspacePool(capacity_words)
+        return _DEFAULT_POOL

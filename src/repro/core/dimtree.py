@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backend import Backend, get_backend
+from repro.backend.workspace import ResidentFactors
 from repro.core.multi_mode import contract_mode_step
 from repro.core.sweep_kernel import SweepKernel
 from repro.exceptions import ParameterError
@@ -317,6 +318,12 @@ class DimensionTree:
         # Aliases of the gate's state: the gate mutates, the tree reads.
         self._factors = self._gate.factors
         self._versions = self._gate.versions
+        # Backend-native factor mirrors, refreshed on identity change: a
+        # device backend uploads each factor once per ALS update instead of
+        # once per contraction (the "device-resident factors" of ROADMAP
+        # item 2); on the host backend the mirror is a no-op pass-through
+        # that still counts hits for the observability layer.
+        self._resident = ResidentFactors(self._n, self._backend)
         #: node key -> (data, modes, has_rank, complement-version snapshot)
         self._cache: Dict[Tuple[int, ...], Tuple[np.ndarray, Tuple[int, ...], bool, Tuple[int, ...]]] = {}
         self.contractions = 0
@@ -479,7 +486,7 @@ class DimensionTree:
 
     def _contract_one(self, data: np.ndarray, modes: List[int], has_rank: bool, k: int):
         axis = modes.index(k)
-        factor = np.asarray(self._factors[k])
+        factor = self._resident.native(k, self._factors[k])
         rank = int(factor.shape[1])
         dims = [data.shape[i] for i in range(len(modes))]
         flops, words = _step_cost(dims, data.shape[axis], rank, has_rank)

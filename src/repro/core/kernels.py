@@ -16,6 +16,7 @@ of Algorithm 4).
 from __future__ import annotations
 
 import string
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
@@ -42,9 +43,15 @@ MAX_MODES = len(string.ascii_lowercase) - 1
 #: (and einsum implementation) differ.  Bounded as an LRU (insertion order
 #: doubles as recency order: hits are moved to the end, overflow evicts the
 #: oldest entry) so a long multi-problem process sheds cold one-off shapes
-#: while the hot steady-state ALS paths survive.
+#: while the hot steady-state ALS paths survive.  Shared mutable state the
+#: moment kernels run on the thread executor (tile tasks of the blocked
+#: kernel may plan paths concurrently), so every lookup/move-to-end/evict
+#: happens under ``_PATH_CACHE_LOCK`` — path *planning* itself runs outside
+#: the lock (it is pure), at worst duplicating a plan that the last writer
+#: then wins.
 _PATH_CACHE: OrderedDict = OrderedDict()
 _PATH_CACHE_MAX_ENTRIES = 512
+_PATH_CACHE_LOCK = threading.Lock()
 
 
 def _path_cache_key(base, operands, backend_name: str):
@@ -54,26 +61,29 @@ def _path_cache_key(base, operands, backend_name: str):
 
 def _contraction_path(key, spec: str, operands) -> list:
     """The cached einsum path for ``spec`` over ``operands`` (see ``_PATH_CACHE``)."""
-    path = _PATH_CACHE.get(key)
-    if path is None:
-        observe_inc("path_cache.miss")
-        # Path planning reads only shapes and dtypes, so plan over
-        # zero-strided host dummies: free of data movement, and valid even
-        # when the operands live on a device backend.
-        dummies = [
-            np.lib.stride_tricks.as_strided(
-                np.empty(1, dtype=np.dtype(str(op.dtype))),
-                shape=tuple(int(d) for d in op.shape),
-                strides=(0,) * len(op.shape),
-            )
-            for op in operands
-        ]
-        path = np.einsum_path(spec, *dummies, optimize=True)[0]
-        if len(_PATH_CACHE) >= _PATH_CACHE_MAX_ENTRIES:
+    with _PATH_CACHE_LOCK:
+        path = _PATH_CACHE.get(key)
+        if path is not None:
+            observe_inc("path_cache.hit")
+            _PATH_CACHE.move_to_end(key)
+            return path
+    observe_inc("path_cache.miss")
+    # Path planning reads only shapes and dtypes, so plan over
+    # zero-strided host dummies: free of data movement, and valid even
+    # when the operands live on a device backend.
+    dummies = [
+        np.lib.stride_tricks.as_strided(
+            np.empty(1, dtype=np.dtype(str(op.dtype))),
+            shape=tuple(int(d) for d in op.shape),
+            strides=(0,) * len(op.shape),
+        )
+        for op in operands
+    ]
+    path = np.einsum_path(spec, *dummies, optimize=True)[0]
+    with _PATH_CACHE_LOCK:
+        if key not in _PATH_CACHE and len(_PATH_CACHE) >= _PATH_CACHE_MAX_ENTRIES:
             _PATH_CACHE.popitem(last=False)
         _PATH_CACHE[key] = path
-    else:
-        observe_inc("path_cache.hit")
         _PATH_CACHE.move_to_end(key)
     return path
 

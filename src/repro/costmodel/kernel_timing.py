@@ -1,14 +1,17 @@
-"""Wall-clock model of the sparse MTTKRP kernels (chunked vs. unchunked).
+"""Wall-clock model of the MTTKRP execution paths (sparse and dense).
 
 Unlike the counted models in the rest of this subpackage, this module
 predicts *seconds*: which execution path of
 :func:`repro.tensor.sparse.sparse_mttkrp` — the legacy ``np.add.at`` kernel
-or the chunked scatter kernel on a given backend — wins on a given problem.
-The model has deliberately few terms, each tied to a mechanism the
-implementation actually exhibits:
+or the chunked scatter kernel on a given backend, serial or thread-parallel —
+and which dense path of :func:`repro.core.blocked_mttkrp.dense_mttkrp` —
+the monolithic einsum contraction or the cache-blocked tiled GEMM — wins on
+a given problem.  The model has deliberately few terms, each tied to a
+mechanism the implementation actually exhibits:
 
-* every path streams ``nnz * R`` elements through ``N - 1`` factor-gather
-  multiplies (:attr:`KernelTimingParams.stream_seconds_per_element`);
+* every sparse path streams ``nnz * R`` elements through ``N - 1``
+  factor-gather multiplies
+  (:attr:`KernelTimingParams.stream_seconds_per_element`);
 * the unchunked path's ``np.add.at`` scatter is fast while its dense
   ``(nnz, R)`` temporary fits in cache and an order of magnitude slower once
   it spills (the very blow-up the chunked kernel exists to avoid) — a
@@ -17,7 +20,20 @@ implementation actually exhibits:
 * the chunked path pays a constant per-element scatter rate (backend
   dependent: per-column ``np.bincount``, a compiled loop, or
   ``cupyx.scatter_add``) plus per-chunk Python-loop and per-scatter-call
-  overheads that dominate only when chunks are tiny.
+  overheads that dominate only when chunks are tiny;
+* the dense einsum path is a BLAS contraction
+  (:attr:`KernelTimingParams.gemm_seconds_per_flop`) followed by a non-BLAS
+  reduce pass over the ``prod(shape) * R / max_other_extent`` intermediate
+  whose measured per-word rate falls off roughly as ``1 / R**2`` — slow at
+  low rank, amortised at high rank;
+* the blocked dense path trades that intermediate for tile copies, per-tile
+  Khatri-Rao row blocks, and per-tile Python overhead — the same GEMM flops,
+  different traffic;
+* thread-parallel variants divide the releases-the-GIL compute by
+  ``min(threads, cpu_count)`` and pay per-task executor dispatch (plus, for
+  the sparse kernel, zeroing and folding one partial accumulator per task) —
+  on a single-core machine the model therefore never picks a threaded
+  candidate.
 
 The constants are calibrated on the container that records
 ``benchmarks/BENCH_kernels_timed.json``; the benchmark asserts that the
@@ -28,11 +44,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ParameterError
 from repro.sequential.block_size import (
     DEFAULT_SPARSE_CHUNK_MEMORY_WORDS,
+    choose_dense_tiles,
     choose_sparse_chunks,
 )
 from repro.utils.validation import check_positive_int
@@ -42,17 +59,43 @@ __all__ = [
     "predicted_sparse_mttkrp_seconds",
     "predicted_sparse_timings",
     "predict_sparse_winner",
+    "predicted_dense_mttkrp_seconds",
+    "predicted_dense_timings",
+    "predict_dense_winner",
 ]
 
 #: Kernel labels used by :func:`predicted_sparse_timings` /
 #: :func:`predict_sparse_winner`: the legacy path is ``"unchunked"``, the
-#: chunked path is ``"chunked:<backend>"``.
+#: chunked path is ``"chunked:<backend>"`` (with a ``:t<threads>`` suffix for
+#: thread-parallel chunk execution).
 UNCHUNKED_LABEL = "unchunked"
 
+#: Label of the monolithic einsum contraction in the dense timing tables.
+EINSUM_LABEL = "einsum"
 
-def chunked_label(backend_name: str) -> str:
-    """The timing-table label of the chunked kernel on ``backend_name``."""
+
+def chunked_label(backend_name: str, threads: int = 1) -> str:
+    """The timing-table label of the chunked kernel on ``backend_name``.
+
+    Serial execution keeps the historical ``"chunked:<backend>"`` label;
+    thread-parallel chunk execution appends ``":t<threads>"``.
+    """
+    if threads > 1:
+        return f"chunked:{backend_name}:t{threads}"
     return f"chunked:{backend_name}"
+
+
+def dense_blocked_label(threads: int = 1) -> str:
+    """The timing-table label of the blocked dense kernel at ``threads``."""
+    return f"blocked:t{threads}"
+
+
+def _effective_cores(params: "KernelTimingParams") -> int:
+    if params.cpu_count is not None:
+        return max(1, int(params.cpu_count))
+    from repro.backend.parallel import effective_cpu_count
+
+    return effective_cpu_count()
 
 
 @dataclass(frozen=True)
@@ -86,6 +129,33 @@ class KernelTimingParams:
     #: Cache capacity (words) separating the two ``np.add.at`` regimes;
     #: defaults to the machine model's sparse-chunk budget.
     cache_words: int = DEFAULT_SPARSE_CHUNK_MEMORY_WORDS
+    #: BLAS GEMM rate (seconds per flop) of the dense contraction — both the
+    #: einsum path's big contraction and the blocked path's tile GEMMs.
+    gemm_seconds_per_flop: float = 2.5e-11
+    #: Per-word floor of the einsum path's non-BLAS reduce pass over the
+    #: contraction intermediate (the rate at large ``R``).
+    einsum_reduce_seconds_per_element: float = 3.0e-9
+    #: Rank-dependent coefficient of the reduce pass: measured per-word rates
+    #: fall off roughly as ``coeff / R**2`` on top of the floor (132 ns/word
+    #: at ``R=16`` down to 12 ns/word at ``R=64`` on the calibration box).
+    einsum_reduce_rank_seconds: float = 3.3e-5
+    #: Streaming copy rate (seconds per word) of the blocked kernel's tile
+    #: matricization copies, Khatri-Rao row-block builds, and output
+    #: accumulation.
+    dense_copy_seconds_per_element: float = 1.5e-9
+    #: Python/pool overhead per dense tile iteration (slicing, ``moveaxis``,
+    #: workspace borrow/release).
+    dense_tile_overhead_seconds: float = 2.0e-5
+    #: Executor dispatch cost per thread task (submit + future result).
+    thread_task_seconds: float = 2.0e-5
+    #: Per-word cost of zeroing and folding one thread task's partial
+    #: accumulator (paid twice per partial word: memset and ordered add).
+    thread_fold_seconds_per_element: float = 2.0e-9
+    #: Cores available to the thread executor; ``None`` means ask
+    #: :func:`repro.backend.parallel.effective_cpu_count` at prediction time.
+    #: Threaded candidates only model a speedup for ``min(threads, cpu_count)
+    #: > 1`` — on the single-core benchmark container they always lose.
+    cpu_count: Optional[int] = None
 
 
 def _resolved_chunks(
@@ -107,6 +177,8 @@ def predicted_sparse_mttkrp_seconds(
     backend: str = "numpy",
     nzchunk: Optional[int] = None,
     rchunk: Optional[int] = None,
+    threads: int = 1,
+    out_rows: Optional[int] = None,
     params: Optional[KernelTimingParams] = None,
 ) -> float:
     """Modelled wall-clock seconds of one sparse MTTKRP.
@@ -126,6 +198,15 @@ def predicted_sparse_mttkrp_seconds(
         in the implementation.  When both cover the whole problem the
         implementation falls back to the unchunked path bit-for-bit, and so
         does the model.
+    threads:
+        Thread count of the chunked kernel's z-block tasks.  ``threads > 1``
+        divides the GIL-releasing compute by ``min(threads, cpu_count)`` and
+        adds per-task dispatch plus the zero/fold cost of one
+        ``(out_rows, rchunk)`` partial accumulator per task — the structural
+        price of the bitwise-deterministic ordered reduction.
+    out_rows:
+        Output-mode extent ``I_mode``; required when ``threads > 1`` (it
+        sizes the partial accumulators), ignored otherwise.
     params:
         Calibration constants (default :class:`KernelTimingParams`).
     """
@@ -136,6 +217,7 @@ def predicted_sparse_mttkrp_seconds(
         raise ParameterError("nnz must be non-negative")
     rank = check_positive_int(rank, "rank")
     n_modes = check_positive_int(n_modes, "n_modes")
+    threads = check_positive_int(threads, "threads")
     if kernel not in ("chunked", UNCHUNKED_LABEL):
         raise ParameterError(f"kernel must be 'chunked' or 'unchunked', got {kernel!r}")
     if nnz == 0:
@@ -171,12 +253,20 @@ def predicted_sparse_mttkrp_seconds(
     # CPU backends issue one bincount per block column; CuPy launches one
     # scatter_add kernel per block.
     n_calls = n_z * n_r if backend == "cupy" else n_z * rank
-    return (
-        stream
-        + scatter_rate * elements
-        + call_seconds * n_calls
-        + params.chunk_overhead_seconds * n_z * n_r
-    )
+    compute = stream + scatter_rate * elements + call_seconds * n_calls
+    overhead = params.chunk_overhead_seconds * n_z * n_r
+    if threads == 1:
+        return compute + overhead
+    if out_rows is None:
+        raise ParameterError("out_rows is required for a threaded prediction")
+    out_rows = check_positive_int(out_rows, "out_rows")
+    n_tasks = n_z * n_r
+    # Each task zeroes a (out_rows, min(rchunk, rank)) partial and the
+    # coordinator folds it back in submission order: two passes per word.
+    partial_words = n_tasks * out_rows * min(rchunk, rank)
+    fold = 2.0 * params.thread_fold_seconds_per_element * partial_words
+    dispatch = params.thread_task_seconds * n_tasks
+    return compute / min(threads, _effective_cores(params)) + overhead + fold + dispatch
 
 
 def predicted_sparse_timings(
@@ -187,25 +277,35 @@ def predicted_sparse_timings(
     nzchunk: Optional[int] = None,
     rchunk: Optional[int] = None,
     backends: Sequence[str] = ("numpy",),
+    threads_options: Sequence[int] = (1,),
+    out_rows: Optional[int] = None,
     params: Optional[KernelTimingParams] = None,
 ) -> Dict[str, float]:
-    """Modelled seconds of every candidate kernel, keyed by timing label."""
+    """Modelled seconds of every candidate kernel, keyed by timing label.
+
+    ``threads_options`` adds one chunked candidate per thread count and
+    backend (serial counts keep the historical ``chunked:<backend>`` label);
+    ``out_rows`` is required as soon as any option exceeds 1.
+    """
     timings = {
         UNCHUNKED_LABEL: predicted_sparse_mttkrp_seconds(
             nnz, rank, n_modes, kernel=UNCHUNKED_LABEL, params=params
         )
     }
     for backend in backends:
-        timings[chunked_label(backend)] = predicted_sparse_mttkrp_seconds(
-            nnz,
-            rank,
-            n_modes,
-            kernel="chunked",
-            backend=backend,
-            nzchunk=nzchunk,
-            rchunk=rchunk,
-            params=params,
-        )
+        for threads in threads_options:
+            timings[chunked_label(backend, threads)] = predicted_sparse_mttkrp_seconds(
+                nnz,
+                rank,
+                n_modes,
+                kernel="chunked",
+                backend=backend,
+                nzchunk=nzchunk,
+                rchunk=rchunk,
+                threads=threads,
+                out_rows=out_rows,
+                params=params,
+            )
     return timings
 
 
@@ -217,6 +317,8 @@ def predict_sparse_winner(
     nzchunk: Optional[int] = None,
     rchunk: Optional[int] = None,
     backends: Sequence[str] = ("numpy",),
+    threads_options: Sequence[int] = (1,),
+    out_rows: Optional[int] = None,
     params: Optional[KernelTimingParams] = None,
 ) -> str:
     """The timing label the model expects to win (minimum modelled seconds)."""
@@ -227,6 +329,185 @@ def predict_sparse_winner(
         nzchunk=nzchunk,
         rchunk=rchunk,
         backends=backends,
+        threads_options=threads_options,
+        out_rows=out_rows,
+        params=params,
+    )
+    return min(timings, key=timings.get)
+
+
+def _resolved_tiles(
+    shape: Sequence[int],
+    rank: int,
+    mode: int,
+    tiles: Union[None, int, Sequence[int]],
+    memory_words: Optional[int],
+) -> Tuple[int, ...]:
+    """Tile sizes exactly as :func:`repro.core.blocked_mttkrp.blocked_mttkrp`
+    resolves them: machine-model defaults, int broadcast, extent clamping."""
+    if tiles is None:
+        if memory_words is None:
+            return choose_dense_tiles(shape, rank, mode)
+        return choose_dense_tiles(shape, rank, mode, memory_words)
+    if isinstance(tiles, int):
+        tiles = (tiles,) * len(shape)
+    tiles = tuple(check_positive_int(t, "tile") for t in tiles)
+    if len(tiles) != len(shape):
+        raise ParameterError(
+            f"expected one tile size per mode ({len(shape)}), got {len(tiles)}"
+        )
+    return tuple(min(t, int(dim)) for t, dim in zip(tiles, shape))
+
+
+def predicted_dense_mttkrp_seconds(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    mode: int = 0,
+    kernel: str = "blocked",
+    tiles: Union[None, int, Sequence[int]] = None,
+    memory_words: Optional[int] = None,
+    threads: int = 1,
+    params: Optional[KernelTimingParams] = None,
+) -> float:
+    """Modelled wall-clock seconds of one dense MTTKRP.
+
+    Parameters
+    ----------
+    shape, rank, mode:
+        Problem size: tensor extents, CP rank ``R``, output mode.
+    kernel:
+        ``"einsum"`` (the monolithic contraction of
+        :func:`repro.core.kernels.mttkrp`) or ``"blocked"`` (the tiled GEMM
+        of :func:`repro.core.blocked_mttkrp.blocked_mttkrp`).
+    tiles, memory_words:
+        Tile configuration of the blocked kernel, resolved exactly as the
+        implementation resolves it.  Tiles covering every extent dispatch to
+        the einsum path bit-for-bit, and so does the model.
+    threads:
+        Thread count of the blocked kernel's output-row tile tasks; the
+        einsum path ignores it.
+    params:
+        Calibration constants (default :class:`KernelTimingParams`).
+    """
+    if params is None:
+        params = KernelTimingParams()
+    shape = tuple(check_positive_int(dim, "extent") for dim in shape)
+    if len(shape) < 2:
+        raise ParameterError("dense predictions need at least 2 modes")
+    rank = check_positive_int(rank, "rank")
+    if not 0 <= int(mode) < len(shape):
+        raise ParameterError(f"mode {mode} out of range for {len(shape)} modes")
+    mode = int(mode)
+    threads = check_positive_int(threads, "threads")
+    if kernel not in ("blocked", EINSUM_LABEL):
+        raise ParameterError(f"kernel must be 'blocked' or 'einsum', got {kernel!r}")
+
+    total = 1
+    for dim in shape:
+        total *= dim
+    elements = total * rank
+    gemm = params.gemm_seconds_per_flop * 2.0 * elements
+
+    if kernel == EINSUM_LABEL:
+        # The optimized path contracts the largest non-output mode first,
+        # then reduces the (total / contracted_extent) * R intermediate in a
+        # non-BLAS pass whose per-word rate is rank-dependent.
+        other_extents = [shape[k] for k in range(len(shape)) if k != mode]
+        interm_words = (total // max(other_extents)) * rank
+        reduce_rate = (
+            params.einsum_reduce_rank_seconds / float(rank) ** 2
+            + params.einsum_reduce_seconds_per_element
+        )
+        return gemm + reduce_rate * interm_words
+
+    tiles = _resolved_tiles(shape, rank, mode, tiles, memory_words)
+    if all(t >= dim for t, dim in zip(tiles, shape)):
+        # The implementation dispatches to the einsum path verbatim.
+        return predicted_dense_mttkrp_seconds(
+            shape, rank, mode=mode, kernel=EINSUM_LABEL, params=params
+        )
+    n_out = math.ceil(shape[mode] / tiles[mode])
+    combos = 1
+    other_words = 1
+    for k, (dim, tile) in enumerate(zip(shape, tiles)):
+        if k == mode:
+            continue
+        combos *= math.ceil(dim / tile)
+        other_words *= dim
+    n_tiles = n_out * combos
+    copy = params.dense_copy_seconds_per_element * total
+    # The Khatri-Rao row block is rebuilt for every output tile (written once
+    # per non-output word and rank column); a 2-way problem needs none.
+    krp_words = n_out * other_words * rank if len(shape) > 2 else 0
+    krp = params.dense_copy_seconds_per_element * krp_words
+    accumulate = params.dense_copy_seconds_per_element * combos * shape[mode] * rank
+    compute = copy + krp + gemm + accumulate
+    overhead = params.dense_tile_overhead_seconds * n_tiles
+    if threads == 1:
+        return compute + overhead
+    # Tile tasks hold the GIL for their Python overhead; only the array
+    # compute parallelises.  Dispatch is one task per output-row tile.
+    dispatch = params.thread_task_seconds * n_out
+    return compute / min(threads, _effective_cores(params)) + overhead + dispatch
+
+
+def predicted_dense_timings(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    mode: int = 0,
+    tiles: Union[None, int, Sequence[int]] = None,
+    memory_words: Optional[int] = None,
+    threads_options: Sequence[int] = (1,),
+    params: Optional[KernelTimingParams] = None,
+) -> Dict[str, float]:
+    """Modelled seconds of every dense candidate, keyed by timing label."""
+    timings = {
+        EINSUM_LABEL: predicted_dense_mttkrp_seconds(
+            shape, rank, mode=mode, kernel=EINSUM_LABEL, params=params
+        )
+    }
+    for threads in threads_options:
+        timings[dense_blocked_label(threads)] = predicted_dense_mttkrp_seconds(
+            shape,
+            rank,
+            mode=mode,
+            kernel="blocked",
+            tiles=tiles,
+            memory_words=memory_words,
+            threads=threads,
+            params=params,
+        )
+    return timings
+
+
+def predict_dense_winner(
+    shape: Sequence[int],
+    rank: int,
+    *,
+    mode: int = 0,
+    tiles: Union[None, int, Sequence[int]] = None,
+    memory_words: Optional[int] = None,
+    threads_options: Sequence[int] = (1,),
+    params: Optional[KernelTimingParams] = None,
+) -> str:
+    """The dense timing label the model expects to win (minimum seconds).
+
+    This is the decision procedure behind
+    :func:`repro.core.blocked_mttkrp.dense_mttkrp`'s ``method="auto"``: when
+    a blocked candidate's tiles cover the tensor its prediction collapses to
+    the einsum prediction, and the einsum label wins the tie — ``min`` over
+    an insertion-ordered dict keeps the first of equal values, and the
+    einsum entry is inserted first.
+    """
+    timings = predicted_dense_timings(
+        shape,
+        rank,
+        mode=mode,
+        tiles=tiles,
+        memory_words=memory_words,
+        threads_options=threads_options,
         params=params,
     )
     return min(timings, key=timings.get)

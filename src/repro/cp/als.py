@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.backend import Backend, get_backend
+from repro.core.blocked_mttkrp import blocked_mttkrp, dense_mttkrp
 from repro.core.dimtree import DimensionTreeKernel
 from repro.core.kernels import mttkrp
 from repro.core.matmul_baseline import mttkrp_via_matmul
@@ -49,8 +50,19 @@ _KERNELS = {
 #: :func:`_resolve_kernel`; ``"dimtree"`` is the sweep-aware dimension-tree
 #: engine of :mod:`repro.core.dimtree`, ``"sampled-dimtree"`` the fused
 #: sampled engine of :mod:`repro.core.sampled_dimtree` that serves leverage
-#: draws from the tree's cached partial contractions).
-KERNEL_NAMES = ("einsum", "matmul", "dimtree", "sampled", "sampled-tree", "sampled-dimtree")
+#: draws from the tree's cached partial contractions; ``"blocked"`` is the
+#: cache-blocked tiled-GEMM kernel of :mod:`repro.core.blocked_mttkrp` and
+#: ``"auto"`` its cost-model dispatch between einsum and blocked).
+KERNEL_NAMES = (
+    "einsum",
+    "matmul",
+    "blocked",
+    "auto",
+    "dimtree",
+    "sampled",
+    "sampled-tree",
+    "sampled-dimtree",
+)
 
 
 @dataclass
@@ -98,6 +110,7 @@ def _resolve_kernel(
     invalidation: str = "exact",
     invalidation_tol: float = 1e-2,
     backend: Union[None, str, Backend] = None,
+    threads: Optional[int] = None,
 ) -> SweepKernel:
     if isinstance(kernel, SweepKernel) or callable(kernel):
         if backend is not None and get_backend(backend).name != "numpy":
@@ -143,6 +156,18 @@ def _resolve_kernel(
                 tensor, factors, mode, backend=exec_backend
             )
         )
+    if kernel == "blocked":
+        return PerCallKernel(
+            lambda tensor, factors, mode: blocked_mttkrp(
+                tensor, factors, mode, backend=exec_backend, threads=threads
+            )
+        )
+    if kernel == "auto":
+        return PerCallKernel(
+            lambda tensor, factors, mode: dense_mttkrp(
+                tensor, factors, mode, backend=exec_backend, threads=threads
+            )
+        )
     if kernel in ("sampled", "sampled-tree"):
         # Imported lazily: repro.sketch layers on this driver, so a module-level
         # import would be circular.  A fresh kernel is built per run so that an
@@ -172,6 +197,7 @@ def cp_als(
     invalidation: str = "exact",
     invalidation_tol: float = 1e-2,
     backend: Union[None, str, Backend] = None,
+    threads: Optional[int] = None,
     warn_on_nonconvergence: bool = False,
 ) -> CPALSResult:
     """Fit a rank-``R`` CP decomposition with alternating least squares.
@@ -212,6 +238,12 @@ def cp_als(
         support backend dispatch (``"einsum"``, ``"dimtree"``,
         ``"sampled-dimtree"``).  Selecting a non-default backend for any
         other kernel raises :class:`~repro.exceptions.ParameterError`.
+    threads:
+        Thread count for the kernels that execute chunks on the shared
+        thread executor (``"blocked"`` / ``"auto"``; ``None`` consults the
+        ``REPRO_THREADS`` environment variable, default 1).  Results are
+        bitwise identical for every value — the blocked kernel parallelises
+        only over disjoint output-row tiles.  Ignored by the other kernels.
     warn_on_nonconvergence:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` when the loop
         exhausts ``n_iter_max`` without meeting ``tol``.
@@ -224,7 +256,9 @@ def cp_als(
     rank = check_rank(rank)
     if data.ndim < 2:
         raise ParameterError("CP-ALS requires a tensor with at least 2 modes")
-    sweep_kernel = _resolve_kernel(kernel, seed, invalidation, invalidation_tol, backend)
+    sweep_kernel = _resolve_kernel(
+        kernel, seed, invalidation, invalidation_tol, backend, threads
+    )
 
     if isinstance(init, str):
         factors = initialize_factors(data, rank, method=init, seed=seed)

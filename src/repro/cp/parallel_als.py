@@ -127,6 +127,7 @@ def parallel_cp_als(
     invalidation: str = "exact",
     invalidation_tol: float = 1e-2,
     backend: Union[None, str, Backend] = None,
+    threads: Optional[int] = None,
 ) -> ParallelCPALSResult:
     """Run CP-ALS with every MTTKRP executed on the simulated parallel machine.
 
@@ -173,6 +174,12 @@ def parallel_cp_als(
         dimension-tree kernels manage their own execution; selecting a
         non-default backend with them raises
         :class:`~repro.exceptions.ParameterError`.
+    threads:
+        Thread count for the ``"exact"`` kernel's per-rank local MTTKRPs
+        (``None`` consults ``REPRO_THREADS``, default 1); simulated ranks
+        run as independent tasks, so fits, factors, and counted
+        communication are bitwise identical for every value.  The other
+        kernels ignore it.
 
     Returns
     -------
@@ -275,12 +282,12 @@ def parallel_cp_als(
             if algorithm == "stationary":
                 result = stationary_mttkrp(
                     local_tensor, factors, mode, grid,
-                    machine=machine, backend=exec_backend,
+                    machine=machine, backend=exec_backend, threads=threads,
                 )
             else:
                 result = general_mttkrp(
                     local_tensor, factors, mode, grid,
-                    machine=machine, backend=exec_backend,
+                    machine=machine, backend=exec_backend, threads=threads,
                 )
             return result.assemble()
 

@@ -12,6 +12,7 @@ sorted-key dictionary ready for ``json.dumps(..., sort_keys=True)``.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Sequence
 
 
@@ -43,37 +44,51 @@ def hit_rate(hits: float, misses: float) -> float:
 
 
 class MetricsRegistry:
-    """Named counters and histograms with a deterministic snapshot."""
+    """Named counters and histograms with a deterministic snapshot.
+
+    Recording is thread-safe: the workspace pool is borrowed from (and
+    counters bumped) by chunk tasks on the shared thread executor, and the
+    unlocked ``dict`` read-modify-write of ``inc`` would lose increments
+    under that interleaving.  One lock covers both maps; reads take it too so
+    a snapshot never observes a half-applied increment.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------
     def inc(self, name: str, value: int = 1) -> None:
         """Add ``value`` to counter ``name`` (created at zero on first use)."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def observe(self, name: str, value: float) -> None:
         """Append ``value`` to histogram ``name``."""
-        self._histograms.setdefault(name, []).append(float(value))
+        with self._lock:
+            self._histograms.setdefault(name, []).append(float(value))
 
     # -- reading ------------------------------------------------------------
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (``0`` if never incremented)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def counters(self) -> Mapping[str, int]:
         """All counters, sorted by name."""
-        return dict(sorted(self._counters.items()))
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def histogram(self, name: str) -> List[float]:
         """The raw observations of histogram ``name`` (empty if absent)."""
-        return list(self._histograms.get(name, []))
+        with self._lock:
+            return list(self._histograms.get(name, []))
 
     def histogram_summary(self, name: str) -> Dict[str, float]:
         """Count/sum/min/max/p50/p99 summary of histogram ``name``."""
-        values = self._histograms.get(name)
+        with self._lock:
+            values = list(self._histograms.get(name, ()))
         if not values:
             return {"count": 0}
         return {
@@ -87,10 +102,12 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Sorted-key dictionary of every counter and histogram summary."""
+        with self._lock:
+            histogram_names = sorted(self._histograms)
+            counters = dict(sorted(self._counters.items()))
         return {
-            "counters": dict(sorted(self._counters.items())),
+            "counters": counters,
             "histograms": {
-                name: self.histogram_summary(name)
-                for name in sorted(self._histograms)
+                name: self.histogram_summary(name) for name in histogram_names
             },
         }

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.backend import Backend, get_backend
+from repro.backend.parallel import parallel_map
 from repro.core.kernels import local_mttkrp, mttkrp_flops
 from repro.exceptions import DistributionError
 from repro.parallel.collectives import all_gather, reduce_scatter
@@ -40,6 +41,7 @@ def general_mttkrp(
     machine: Optional[SimulatedMachine] = None,
     count_local_flops: bool = True,
     backend: Union[None, str, Backend] = None,
+    threads: Optional[int] = None,
 ) -> ParallelMTTKRPResult:
     """Run Algorithm 4 on a simulated machine.
 
@@ -63,6 +65,11 @@ def general_mttkrp(
         Execution backend for the per-rank local MTTKRPs
         (:func:`repro.backend.get_backend`); counted communication and
         storage are backend-independent.
+    threads:
+        Thread count for the per-rank local MTTKRPs (``None`` consults
+        ``REPRO_THREADS``, default 1); as in
+        :func:`~repro.parallel.stationary.stationary_mttkrp`, results and
+        counted ledgers are bitwise identical for every thread count.
 
     Returns
     -------
@@ -122,19 +129,29 @@ def general_mttkrp(
                 gathered_factors[r][k] = gathered[r]
 
     # -- Line 7: local MTTKRP on each rank (columns restricted to T_{p_0}).
-    local_outputs: Dict[int, np.ndarray] = {}
+    # Pure independent tasks fan out on the thread executor; the machine's
+    # counters are charged serially afterwards (see stationary_mttkrp).
+    rank_factors: Dict[int, List[Optional[np.ndarray]]] = {}
     for rank in range(grid.n_procs):
-        local_factors: List[Optional[np.ndarray]] = []
-        for k in range(data.ndim):
-            local_factors.append(None if k == mode else gathered_factors[rank][k])
-        local_tensor = gathered_tensors[rank]
-        local_outputs[rank] = local_mttkrp(
-            local_tensor, local_factors, mode, backend=exec_backend
+        rank_factors[rank] = [
+            None if k == mode else gathered_factors[rank][k] for k in range(data.ndim)
+        ]
+
+    def run_local(rank: int) -> np.ndarray:
+        return local_mttkrp(
+            gathered_tensors[rank], rank_factors[rank], mode, backend=exec_backend
         )
+
+    results = parallel_map(run_local, range(grid.n_procs), threads=threads)
+    local_outputs: Dict[int, np.ndarray] = dict(enumerate(results))
+    for rank in range(grid.n_procs):
+        local_tensor = gathered_tensors[rank]
         if count_local_flops:
             cols = len(dist.rank_columns(rank))
             machine.charge_flops(rank, mttkrp_flops(local_tensor.shape, max(cols, 1)))
-        _charge_general_storage(machine, rank, local_tensor, local_factors, local_outputs[rank])
+        _charge_general_storage(
+            machine, rank, local_tensor, rank_factors[rank], local_outputs[rank]
+        )
 
     # -- Line 8: Reduce-Scatter within each (p_0, p_n) slice.
     output = DistributedMTTKRPOutput(shape=(data.shape[mode], dist.rank))

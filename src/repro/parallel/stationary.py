@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.backend import Backend, get_backend
+from repro.backend.parallel import parallel_map
 from repro.core.kernels import local_mttkrp, mttkrp_flops
 from repro.exceptions import DistributionError
 from repro.parallel.collectives import all_gather, reduce_scatter
@@ -73,6 +74,7 @@ def stationary_mttkrp(
     machine: Optional[SimulatedMachine] = None,
     count_local_flops: bool = True,
     backend: Union[None, str, Backend] = None,
+    threads: Optional[int] = None,
 ) -> ParallelMTTKRPResult:
     """Run Algorithm 3 on a simulated machine.
 
@@ -97,6 +99,12 @@ def stationary_mttkrp(
         Execution backend for the per-rank local MTTKRPs
         (:func:`repro.backend.get_backend`); counted communication and
         storage are backend-independent.
+    threads:
+        Thread count for the per-rank local MTTKRPs (``None`` consults
+        ``REPRO_THREADS``, default 1).  Each simulated rank's local kernel
+        is an independent task writing its own output slot, and the
+        machine's counters are charged serially afterwards — results and
+        counted ledgers are bitwise identical for every thread count.
 
     Returns
     -------
@@ -132,19 +140,30 @@ def stationary_mttkrp(
             for rank in group:
                 gathered_factors[rank][k] = gathered[rank]
 
-    # -- Line 6: local MTTKRP on each rank.
-    local_outputs: Dict[int, np.ndarray] = {}
+    # -- Line 6: local MTTKRP on each rank.  Each rank's kernel is a pure,
+    # independent task, so the compute fans out on the thread executor;
+    # machine counters are charged serially afterwards, keeping the counted
+    # ledgers (and the outputs) bitwise independent of the thread count.
+    rank_factors: Dict[int, List[Optional[np.ndarray]]] = {}
+    for rank in range(grid.n_procs):
+        rank_factors[rank] = [
+            None if k == mode else gathered_factors[rank][k] for k in range(data.ndim)
+        ]
+
+    def run_local(rank: int) -> np.ndarray:
+        return local_mttkrp(
+            tensor_blocks[rank].data, rank_factors[rank], mode, backend=exec_backend
+        )
+
+    results = parallel_map(run_local, range(grid.n_procs), threads=threads)
+    local_outputs: Dict[int, np.ndarray] = dict(enumerate(results))
     for rank in range(grid.n_procs):
         block = tensor_blocks[rank]
-        local_factors: List[Optional[np.ndarray]] = []
-        for k in range(data.ndim):
-            local_factors.append(None if k == mode else gathered_factors[rank][k])
-        local_outputs[rank] = local_mttkrp(
-            block.data, local_factors, mode, backend=exec_backend
-        )
         if count_local_flops:
             machine.charge_flops(rank, mttkrp_flops(block.data.shape, dist.rank))
-        _charge_stationary_storage(machine, rank, block.data, local_factors, local_outputs[rank])
+        _charge_stationary_storage(
+            machine, rank, block.data, rank_factors[rank], local_outputs[rank]
+        )
 
     # -- Line 7: Reduce-Scatter within each mode-n hyperslice.
     output = DistributedMTTKRPOutput(shape=(data.shape[mode], dist.rank))

@@ -31,6 +31,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.backend import Backend, get_backend
+from repro.backend.parallel import parallel_map, resolve_threads
+from repro.backend.workspace import WorkspacePool, default_pool
 from repro.exceptions import ParameterError, ShapeError
 from repro.observe.instrument import inc as observe_inc
 from repro.utils.partition import partition_bounds
@@ -187,6 +189,8 @@ def sparse_mttkrp(
     rchunk: Optional[int] = None,
     memory_words: Optional[int] = None,
     backend: Union[None, str, Backend] = None,
+    threads: Optional[int] = None,
+    pool: Optional[WorkspacePool] = None,
 ) -> np.ndarray:
     """Chunked MTTKRP for a COO sparse tensor (Tensor Toolbox v3.3 design).
 
@@ -217,6 +221,21 @@ def sparse_mttkrp(
         Execution backend name or instance (:func:`repro.backend.get_backend`);
         the default NumPy backend accumulates each chunk with per-column
         ``bincount``, Numba with a compiled scatter loop, CuPy device-side.
+    threads:
+        Thread count for the nonzero-chunk tasks (``None`` consults
+        ``REPRO_THREADS``, default 1).  With ``threads > 1`` each z-block
+        task scatters into its own zeroed partial accumulator (borrowed from
+        ``pool``) and the coordinating thread folds the partials back in
+        submission order — bitwise identical to the serial path for every
+        thread count, because ``bincount`` already sums each chunk before a
+        single add and ``0 + x == x`` exactly.  That guarantee holds for the
+        per-column-``bincount`` NumPy backend only, so threaded execution
+        requires it; compiled/device backends (whose scatter accumulates
+        element-by-element or device-side) raise
+        :class:`~repro.exceptions.ParameterError`.
+    pool:
+        Workspace pool for the threaded path's partial accumulators
+        (default: the process pool); unused when ``threads == 1``.
 
     Returns
     -------
@@ -244,27 +263,60 @@ def sparse_mttkrp(
         return sparse_mttkrp_unchunked(tensor, factors, mode)
 
     exec_backend = get_backend(backend)
+    threads = resolve_threads(threads)
+    if threads > 1 and exec_backend.name != "numpy":
+        raise ParameterError(
+            "thread-parallel chunk execution preserves the serial accumulation "
+            "order only on the per-column-bincount numpy backend; backend "
+            f"{exec_backend.name!r} must run serially (threads=1)"
+        )
+    if pool is None:
+        pool = default_pool()
     inputs = [k for k in range(tensor.ndim) if k != mode]
     values = exec_backend.asarray(tensor.values)
     rows = exec_backend.asarray(tensor.coords[:, mode])
     columns = {k: exec_backend.asarray(tensor.coords[:, k]) for k in inputs}
     native_factors = {k: exec_backend.asarray(factors[k]) for k in inputs}
     output = exec_backend.zeros((tensor.shape[mode], rank), dtype=np.float64)
+    first = inputs[0]
 
+    def contribution_block(z0: int, z1: int, r0: int, r1: int):
+        block = (
+            values[z0:z1, None]
+            * native_factors[first][columns[first][z0:z1], r0:r1]
+        )
+        for k in inputs[1:]:
+            block = block * native_factors[k][columns[k][z0:z1], r0:r1]
+        return block
+
+    z_starts = list(range(0, nnz, nzchunk))
+    n_chunks = 0
     for r0 in range(0, rank, rchunk):
         r1 = min(r0 + rchunk, rank)
         out_block = output[:, r0:r1]
-        for z0 in range(0, nnz, nzchunk):
+        n_chunks += len(z_starts)
+        if threads == 1 or len(z_starts) == 1:
+            for z0 in z_starts:
+                z1 = min(z0 + nzchunk, nnz)
+                block = contribution_block(z0, z1, r0, r1)
+                exec_backend.scatter_add_rows(out_block, rows[z0:z1], block)
+            continue
+
+        def run_zblock(z0: int) -> np.ndarray:
             z1 = min(z0 + nzchunk, nnz)
-            first = inputs[0]
-            block = (
-                values[z0:z1, None]
-                * native_factors[first][columns[first][z0:z1], r0:r1]
-            )
-            for k in inputs[1:]:
-                block = block * native_factors[k][columns[k][z0:z1], r0:r1]
-            exec_backend.scatter_add_rows(out_block, rows[z0:z1], block)
-            observe_inc("sparse_mttkrp.chunks")
+            block = contribution_block(z0, z1, r0, r1)
+            partial = pool.borrow((tensor.shape[mode], r1 - r0), zero=True)
+            exec_backend.scatter_add_rows(partial, rows[z0:z1], block)
+            return partial
+
+        # Fold the per-z-block partials in submission (= serial z) order:
+        # each partial is exactly its chunk's bincount sums, so the fold
+        # replays the serial adds bit for bit, whatever the thread count.
+        for partial in parallel_map(run_zblock, z_starts, threads=threads):
+            np.add(out_block, partial, out=out_block)
+            pool.release(partial)
+    observe_inc("sparse_mttkrp.chunks", n_chunks)
+    observe_inc("sparse_mttkrp.threads", threads)
     exec_backend.synchronize()
     return np.ascontiguousarray(exec_backend.to_numpy(output))
 

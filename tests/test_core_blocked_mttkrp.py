@@ -1,0 +1,248 @@
+"""Parity, fallback, threading, and dispatch tests for the blocked dense MTTKRP.
+
+The load-bearing contract mirrors the sparse chunked kernel's: for *every*
+tiling — including tiles of 1, tiles covering the tensor, and every output
+mode — the blocked kernel agrees with the einsum kernel.  The parity sweep
+runs on integer-valued float64 data, where every partial sum is an exactly
+representable integer, so reassociating the per-row sums over non-output
+tiles cannot change a bit and the comparison is *exact* (``atol=0``), not
+approximate.  Covering tiles must dispatch to the einsum path verbatim
+(bitwise on arbitrary real data), threads must never change a bit (tasks own
+disjoint output rows), and ``method="auto"`` must run the cost model's
+pick and record the decision.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backend.base import Backend
+from repro.backend.workspace import WorkspacePool
+from repro.core.blocked_mttkrp import DENSE_METHODS, blocked_mttkrp, dense_mttkrp
+from repro.core.kernels import mttkrp
+from repro.exceptions import ParameterError
+from repro.observe import tracing
+from repro.tensor.random import random_factors
+
+
+def _integer_problem(shape, rank, seed, *, noncontiguous=False):
+    """Integer-valued float64 tensor + factors: sums are exact, order-free."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-2, 3, size=shape).astype(np.float64)
+    if noncontiguous:
+        # Factors as row- and column-strided views of larger buffers: the
+        # kernel must not assume contiguity when slicing row tiles.
+        factors = [
+            rng.integers(-2, 3, size=(2 * dim, 2 * rank)).astype(np.float64)[::2, ::2]
+            for dim in shape
+        ]
+        assert all(not f.flags["C_CONTIGUOUS"] for f in factors if f.size > 1)
+    else:
+        factors = [
+            rng.integers(-2, 3, size=(dim, rank)).astype(np.float64) for dim in shape
+        ]
+    return data, factors
+
+
+def _real_problem(shape, rank, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    return data, random_factors(shape, rank, seed=seed + 1)
+
+
+class TestBlockedEqualsEinsum:
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=60)
+    @given(
+        tile=st.integers(min_value=1, max_value=9),
+        mode=st.integers(min_value=0, max_value=2),
+        rank=st.sampled_from([1, 2, 5]),
+        seed=st.integers(min_value=0, max_value=6),
+        noncontiguous=st.booleans(),
+    )
+    def test_any_tiling_matches_einsum_exactly(self, tile, mode, rank, seed, noncontiguous):
+        """Blocked == einsum with atol=0 over the (tile, mode, R) lattice.
+
+        Tile sizes deliberately cross the extents (max extent 8 < 9) so the
+        covering-tiles fallback region is drawn too, and R=1 exercises the
+        degenerate rank-one KRP.
+        """
+        shape = (7, 8, 6)
+        data, factors = _integer_problem(shape, rank, seed, noncontiguous=noncontiguous)
+        expected = mttkrp(data, factors, mode)
+        actual = blocked_mttkrp(data, factors, mode, tiles=tile)
+        np.testing.assert_array_equal(actual, expected)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=30)
+    @given(
+        n_modes=st.sampled_from([2, 3, 4]),
+        tiles_seed=st.integers(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=4),
+    )
+    def test_per_mode_tiles_every_n_every_mode(self, n_modes, tiles_seed, seed):
+        """Per-mode tile vectors across 2/3/4-way tensors, every output mode."""
+        rng = np.random.default_rng(tiles_seed)
+        shape = tuple(int(d) for d in rng.integers(2, 7, size=n_modes))
+        tiles = tuple(int(t) for t in rng.integers(1, 8, size=n_modes))
+        data, factors = _integer_problem(shape, 3, seed)
+        for mode in range(n_modes):
+            expected = mttkrp(data, factors, mode)
+            actual = blocked_mttkrp(data, factors, mode, tiles=tiles)
+            np.testing.assert_array_equal(actual, expected)
+
+    def test_length_one_modes(self):
+        """Extent-1 modes (in and out of the output position) tile correctly."""
+        for shape, mode in [((1, 6, 5), 0), ((6, 1, 5), 1), ((6, 1, 5), 0), ((4, 1, 1), 0)]:
+            data, factors = _integer_problem(shape, 2, seed=11)
+            expected = mttkrp(data, factors, mode)
+            actual = blocked_mttkrp(data, factors, mode, tiles=2)
+            np.testing.assert_array_equal(actual, expected)
+
+    def test_two_way_tensor_is_a_tiled_matmul(self):
+        """N=2 has an empty KRP growth loop — the tile is the factor block."""
+        data, factors = _integer_problem((9, 7), 4, seed=5)
+        for mode in (0, 1):
+            np.testing.assert_array_equal(
+                blocked_mttkrp(data, factors, mode, tiles=3),
+                mttkrp(data, factors, mode),
+            )
+
+    def test_default_tiles_match_on_real_data(self):
+        """Machine-model default tiles agree to reassociation tolerance."""
+        data, factors = _real_problem((30, 31, 29), 8, seed=2)
+        expected = mttkrp(data, factors, 1)
+        actual = blocked_mttkrp(data, factors, 1, memory_words=4096)
+        np.testing.assert_allclose(actual, expected, atol=1e-12, rtol=0.0)
+
+
+class TestFallbackAndValidation:
+    def test_covering_tiles_fall_back_bitwise(self):
+        """One covering tile dispatches to einsum verbatim — bitwise equal."""
+        data, factors = _real_problem((8, 7, 6), 5, seed=9)
+        with tracing() as session:
+            blocked = blocked_mttkrp(data, factors, 2, tiles=(8, 7, 6))
+        reference = mttkrp(data, factors, 2)
+        assert blocked.tobytes() == reference.tobytes()
+        assert session.metrics.counter("blocked_mttkrp.fallback") == 1
+        assert session.metrics.counter("blocked_mttkrp.tiles") == 0
+
+    def test_oversized_tiles_clamp_to_fallback(self):
+        data, factors = _real_problem((5, 4, 3), 2, seed=1)
+        blocked = blocked_mttkrp(data, factors, 0, tiles=1000)
+        assert blocked.tobytes() == mttkrp(data, factors, 0).tobytes()
+
+    def test_tile_vector_length_mismatch_raises(self):
+        data, factors = _integer_problem((5, 4, 3), 2, seed=0)
+        with pytest.raises(ParameterError):
+            blocked_mttkrp(data, factors, 0, tiles=(2, 2))
+
+    def test_nonpositive_tile_raises(self):
+        data, factors = _integer_problem((5, 4, 3), 2, seed=0)
+        with pytest.raises(ParameterError):
+            blocked_mttkrp(data, factors, 0, tiles=0)
+
+    def test_vector_tensor_raises(self):
+        with pytest.raises(ParameterError):
+            blocked_mttkrp(np.arange(4.0), [np.ones((4, 2))], 0)
+
+    def test_device_backend_rejected(self):
+        """A device-resident backend must be refused, not silently bounced."""
+
+        class _DeviceArray:
+            def __init__(self, array):
+                self._array = array
+
+        class _FakeDeviceBackend(Backend):
+            name = "fake-device"
+
+            def available(self):
+                return True
+
+            def asarray(self, array, dtype=None):
+                return _DeviceArray(np.asarray(array))
+
+        data, factors = _integer_problem((6, 5, 4), 2, seed=0)
+        with pytest.raises(ParameterError, match="device-resident"):
+            blocked_mttkrp(data, factors, 0, tiles=2, backend=_FakeDeviceBackend())
+
+
+class TestThreadsBitwise:
+    def test_threads_never_change_a_bit(self):
+        """Output-row tiles are disjoint tasks: any thread count is bitwise."""
+        data, factors = _real_problem((24, 23, 22), 6, seed=4)
+        serial = blocked_mttkrp(data, factors, 0, tiles=5, threads=1)
+        for threads in (2, 3, 7):
+            threaded = blocked_mttkrp(data, factors, 0, tiles=5, threads=threads)
+            assert threaded.tobytes() == serial.tobytes()
+
+    def test_thread_counter_recorded(self):
+        data, factors = _real_problem((12, 11, 10), 3, seed=8)
+        with tracing() as session:
+            blocked_mttkrp(data, factors, 0, tiles=4, threads=3)
+        assert session.metrics.counter("blocked_mttkrp.threads") == 3
+        # 3 output-row tiles x (3 x 3) non-output combos
+        assert session.metrics.counter("blocked_mttkrp.tiles") == 3 * 9
+
+    def test_workers_reuse_the_pool(self):
+        """Tile scratch comes from the shared pool even on worker threads."""
+        data, factors = _real_problem((16, 15, 14), 4, seed=6)
+        pool = WorkspacePool()
+        blocked_mttkrp(data, factors, 0, tiles=4, threads=2, pool=pool)
+        first_hits = pool.hits
+        blocked_mttkrp(data, factors, 0, tiles=4, threads=2, pool=pool)
+        assert pool.hits > first_hits  # steady state borrows, doesn't allocate
+
+
+class TestDenseDispatch:
+    def test_method_registry(self):
+        assert DENSE_METHODS == ("auto", "einsum", "blocked")
+        data, factors = _integer_problem((5, 4, 3), 2, seed=0)
+        with pytest.raises(ParameterError):
+            dense_mttkrp(data, factors, 0, method="nope")
+
+    def test_explicit_methods_match_their_kernels(self):
+        data, factors = _real_problem((10, 9, 8), 4, seed=3)
+        assert (
+            dense_mttkrp(data, factors, 1, method="einsum").tobytes()
+            == mttkrp(data, factors, 1).tobytes()
+        )
+        assert (
+            dense_mttkrp(data, factors, 1, method="blocked", tiles=3).tobytes()
+            == blocked_mttkrp(data, factors, 1, tiles=3).tobytes()
+        )
+
+    def test_auto_small_problem_picks_einsum(self):
+        """Tiny problems: tile overhead dominates, the model picks einsum."""
+        data, factors = _real_problem((8, 7, 6), 4, seed=2)
+        with tracing() as session:
+            result = dense_mttkrp(data, factors, 0, method="auto", tiles=2)
+        assert session.metrics.counter("dense_dispatch.einsum") == 1
+        assert session.metrics.counter("dense_dispatch.blocked") == 0
+        assert result.tobytes() == mttkrp(data, factors, 0).tobytes()
+
+    def test_auto_agrees_with_predicted_winner(self):
+        """The dispatch counter always matches the model's announced pick."""
+        from repro.costmodel.kernel_timing import EINSUM_LABEL, predict_dense_winner
+
+        for shape, rank, tiles in [
+            ((8, 7, 6), 4, 2),
+            ((64, 64, 64), 16, None),
+            ((40, 40, 40), 8, 40),
+        ]:
+            data, factors = _real_problem(shape, rank, seed=1)
+            winner = predict_dense_winner(shape, rank, mode=0, tiles=tiles)
+            with tracing() as session:
+                dense_mttkrp(data, factors, 0, method="auto", tiles=tiles)
+            expected_counter = (
+                "dense_dispatch.einsum" if winner == EINSUM_LABEL else "dense_dispatch.blocked"
+            )
+            assert session.metrics.counter(expected_counter) == 1
+
+    def test_auto_result_matches_einsum_numerically(self):
+        data, factors = _real_problem((32, 31, 30), 8, seed=7)
+        np.testing.assert_allclose(
+            dense_mttkrp(data, factors, 2, method="auto"),
+            mttkrp(data, factors, 2),
+            atol=1e-12,
+            rtol=0.0,
+        )

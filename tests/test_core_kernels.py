@@ -222,3 +222,35 @@ class TestContractionPathCache:
         assert ("cold", 0) not in _PATH_CACHE
         assert ("cold", _PATH_CACHE_MAX_ENTRIES - 1) in _PATH_CACHE
         _PATH_CACHE.clear()
+
+    def test_concurrent_access_is_safe_and_correct(self):
+        """Hammer the cache from worker threads: no corruption, right answers.
+
+        Regression test for the unlocked ``OrderedDict``: concurrent
+        ``move_to_end``/insert/evict during threaded chunk execution could
+        corrupt the dict or lose entries mid-iteration.  Every thread mixes
+        hot lookups (move-to-end), cold insertions (evict pressure), and
+        real MTTKRPs whose results must still match the serial reference.
+        """
+        from repro.backend.parallel import parallel_map
+        from repro.core.kernels import _PATH_CACHE_MAX_ENTRIES, _contraction_path
+
+        _PATH_CACHE.clear()
+        tensor, factors = problem((6, 5, 4), 3, seed=21)
+        expected = [mttkrp(tensor, factors, mode) for mode in range(3)]
+        operands = (np.zeros((2, 3)), np.zeros((3, 2)))
+
+        def hammer(worker):
+            for i in range(120):
+                mode = (worker + i) % 3
+                result = mttkrp(tensor, factors, mode)
+                assert result.tobytes() == expected[mode].tobytes()
+                _contraction_path(("cold", worker, i), "ab,bc->ac", operands)
+            return worker
+
+        assert sorted(parallel_map(hammer, range(6), threads=6)) == list(range(6))
+        assert len(_PATH_CACHE) <= _PATH_CACHE_MAX_ENTRIES
+        for mode in range(3):
+            # Re-planning after any eviction still yields the right answer.
+            assert np.array_equal(mttkrp(tensor, factors, mode), expected[mode])
+        _PATH_CACHE.clear()

@@ -84,6 +84,22 @@ class TestCPALSOptions:
         assert np.allclose(a.fits, b.fits, atol=1e-10)
         assert a.mttkrp_calls == b.mttkrp_calls
 
+    def test_blocked_and_auto_kernels_match_einsum_trajectory(self):
+        tensor = noisy_low_rank_tensor((9, 8, 7), 3, noise_level=0.02, seed=30)
+        a = cp_als(tensor, 3, n_iter_max=15, tol=0.0, seed=31, kernel="einsum")
+        for kernel in ("blocked", "auto"):
+            b = cp_als(tensor, 3, n_iter_max=15, tol=0.0, seed=31, kernel=kernel)
+            assert np.allclose(a.fits, b.fits, atol=1e-10), kernel
+
+    def test_blocked_kernel_threads_do_not_change_the_trajectory(self):
+        """Thread counts change scheduling, never fits — bitwise contract."""
+        tensor = noisy_low_rank_tensor((10, 9, 8), 3, noise_level=0.02, seed=32)
+        serial = cp_als(tensor, 3, n_iter_max=8, tol=0.0, seed=33, kernel="blocked", threads=1)
+        threaded = cp_als(tensor, 3, n_iter_max=8, tol=0.0, seed=33, kernel="blocked", threads=3)
+        assert np.array_equal(serial.fits, threaded.fits)
+        for a, b in zip(serial.model.factors, threaded.model.factors):
+            assert a.tobytes() == b.tobytes()
+
     def test_unknown_kernel_message_unified(self):
         with pytest.raises(ParameterError, match="unknown MTTKRP kernel 'gpu'; use one of"):
             cp_als(random_tensor((3, 3), seed=0), 2, kernel="gpu")
@@ -126,7 +142,7 @@ class TestCPALSOptions:
             name = "other"
 
         tensor = random_tensor((4, 4, 4), seed=44)
-        for kernel in ("matmul", "sampled", "sampled-tree"):
+        for kernel in ("matmul", "sampled", "sampled-tree", "blocked", "auto"):
             with pytest.raises(ParameterError, match="does not support"):
                 cp_als(tensor, 2, kernel=kernel, backend=OtherBackend())
 

@@ -73,3 +73,21 @@ class TestParallelCPALS:
         result = parallel_cp_als(tensor, 2, n_procs=8, n_iter_max=1, tol=0.0, seed=7)
         assert len(result.grids) == 1
         assert int(np.prod(result.grids[0])) == 8
+
+    @pytest.mark.parametrize("algorithm", ["stationary", "general"])
+    def test_threads_leave_fits_and_ledger_bitwise(self, tensor, algorithm):
+        """Per-rank local MTTKRPs fan out on threads; nothing observable moves."""
+        serial = parallel_cp_als(
+            tensor, 2, n_procs=8, algorithm=algorithm,
+            n_iter_max=4, tol=0.0, seed=8, threads=1,
+        )
+        threaded = parallel_cp_als(
+            tensor, 2, n_procs=8, algorithm=algorithm,
+            n_iter_max=4, tol=0.0, seed=8, threads=4,
+        )
+        assert np.array_equal(serial.als.fits, threaded.als.fits)
+        assert serial.words_per_iteration == threaded.words_per_iteration
+        for field in ("words_sent", "words_received", "flops", "storage_high_water"):
+            np.testing.assert_array_equal(
+                getattr(serial.machine, field), getattr(threaded.machine, field)
+            )

@@ -172,3 +172,85 @@ class TestLabeledCollectiveAudit:
             record.words_per_rank * len(record.group) for record in result.machine.records
         )
         assert traced_words == ledger_words
+
+
+class TestWorkspaceAndThreadCounters:
+    """Exact counter values for the workspace pool and threaded kernels."""
+
+    def test_sparse_thread_and_chunk_counters_are_exact(self):
+        from repro.tensor.sparse import SparseTensor, sparse_mttkrp
+
+        rng = np.random.default_rng(3)
+        nnz, shape, rank = 90, (9, 8, 7), 6
+        coords = np.stack([rng.integers(0, d, size=nnz) for d in shape], axis=1)
+        tensor = SparseTensor(shape=shape, coords=coords, values=rng.standard_normal(nnz))
+        factors = random_factors(shape, rank, seed=4)
+        with tracing() as session:
+            sparse_mttkrp(tensor, factors, 0, nzchunk=40, rchunk=4, threads=2)
+            sparse_mttkrp(tensor, factors, 0, nzchunk=40, rchunk=4, threads=1)
+        counters = session.metrics.counters()
+        # ceil(90/40) * ceil(6/4) = 3 * 2 chunks per call, two calls.
+        assert counters["sparse_mttkrp.chunks"] == 12
+        # One bulk increment of the resolved count per call: 2 + 1.
+        assert counters["sparse_mttkrp.threads"] == 3
+
+    def test_workspace_counters_are_exact(self):
+        from repro.backend.workspace import WorkspacePool
+
+        pool = WorkspacePool(capacity_words=16)
+        with tracing() as session:
+            a = pool.borrow((4, 2))  # miss
+            pool.release(a)  # free=8, fits
+            b = pool.borrow((4, 2))  # hit
+            c = pool.borrow((3, 4))  # miss
+            pool.release(b)  # free=8, fits
+            pool.release(c)  # free=20 > 16: evict oldest shape once (8 words)
+        counters = session.metrics.counters()
+        assert counters["workspace.miss"] == 2
+        assert counters["workspace.hit"] == 1
+        assert counters["workspace.evict"] == 1
+        # High-water = both buffers checked out at once: 8 + 12 words.
+        summary = session.metrics.histogram_summary("workspace.high_water_words")
+        assert summary["max"] == 20.0
+
+    def test_blocked_dense_counters_are_exact(self):
+        from repro.core.blocked_mttkrp import blocked_mttkrp
+
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((8, 6, 4))
+        factors = random_factors((8, 6, 4), 3, seed=6)
+        with tracing() as session:
+            blocked_mttkrp(data, factors, 0, tiles=(4, 3, 2), threads=2)
+            blocked_mttkrp(data, factors, 0, tiles=(8, 6, 4))  # covering
+        counters = session.metrics.counters()
+        # 2 output tiles x (2 x 2) non-output combos from the tiled call.
+        assert counters["blocked_mttkrp.tiles"] == 8
+        assert counters["blocked_mttkrp.threads"] == 2
+        assert counters["blocked_mttkrp.fallback"] == 1
+
+    def test_dense_dispatch_counters_are_exact(self):
+        from repro.core.blocked_mttkrp import dense_mttkrp
+
+        rng = np.random.default_rng(7)
+        small = rng.standard_normal((8, 7, 6))
+        small_factors = random_factors((8, 7, 6), 4, seed=8)
+        with tracing() as session:
+            dense_mttkrp(small, small_factors, 0, method="auto", tiles=2)
+        assert session.metrics.counters()["dense_dispatch.einsum"] == 1
+        assert "dense_dispatch.blocked" not in session.metrics.counters()
+
+    @pytest.mark.parametrize("sweeps", [1, 2, 3])
+    def test_dimtree_resident_factor_counters(self, sweeps):
+        """Resident-factor lookups track partial rebuilds exactly.
+
+        The dimension tree consults its :class:`ResidentFactors` mirror only
+        inside ``_contract_one``, i.e. once per factor consumed by a partial
+        rebuild.  For the seeded 3-mode problem (cold: 4 misses + 1 hit;
+        each later sweep: 4 stale rebuilds consuming 3 replaced + 2 reused
+        factors) the closed forms are ``factor.hit = 2 S - 1`` and
+        ``factor.miss = 3 S + 1``.
+        """
+        session = traced_sweeps("dimtree", sweeps=sweeps)
+        counters = session.metrics.counters()
+        assert counters["workspace.factor.hit"] == 2 * sweeps - 1
+        assert counters["workspace.factor.miss"] == 3 * sweeps + 1

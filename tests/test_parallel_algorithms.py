@@ -147,3 +147,34 @@ class TestMeasuredAgainstLowerBounds:
         )
         bound = combined_parallel_lower_bound(shape, rank, n_procs).combined
         assert sends_plus_receives >= bound - 1e-9
+
+
+class TestThreadedLocalMTTKRPs:
+    """Simulated ranks are independent tasks: threads change nothing counted.
+
+    Line 6/7's per-rank local MTTKRPs fan out on the thread executor while
+    the machine's flop/storage counters are charged serially afterwards —
+    so outputs AND ledgers must be bitwise identical for every thread count.
+    """
+
+    @pytest.mark.parametrize("threads", [2, 3, 8])
+    def test_stationary_bitwise_and_ledger_invariant(self, threads):
+        tensor, factors = problem((8, 6, 4), 3, seed=7)
+        serial = stationary_mttkrp(tensor, factors, 1, (2, 3, 2), threads=1)
+        threaded = stationary_mttkrp(tensor, factors, 1, (2, 3, 2), threads=threads)
+        assert threaded.assemble().tobytes() == serial.assemble().tobytes()
+        for field in ("words_sent", "words_received", "flops", "storage_high_water"):
+            np.testing.assert_array_equal(
+                getattr(threaded.machine, field), getattr(serial.machine, field)
+            )
+
+    @pytest.mark.parametrize("threads", [2, 5])
+    def test_general_bitwise_and_ledger_invariant(self, threads):
+        tensor, factors = problem((8, 6, 4), 4, seed=8)
+        serial = general_mttkrp(tensor, factors, 0, (2, 2, 1, 2), threads=1)
+        threaded = general_mttkrp(tensor, factors, 0, (2, 2, 1, 2), threads=threads)
+        assert threaded.assemble().tobytes() == serial.assemble().tobytes()
+        for field in ("words_sent", "words_received", "flops", "storage_high_water"):
+            np.testing.assert_array_equal(
+                getattr(threaded.machine, field), getattr(serial.machine, field)
+            )

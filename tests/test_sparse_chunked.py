@@ -151,3 +151,63 @@ class TestPeakMemory:
         assert unchunked_peak >= dense_temp_bytes
         assert chunked_peak < dense_temp_bytes / 4
         assert chunked_peak < unchunked_peak / 4
+
+
+class TestThreadedChunks:
+    def test_threads_bitwise_equal_to_serial(self):
+        """Any thread count reproduces the serial chunked result bit for bit.
+
+        The threaded path scatter-adds each nonzero block into a zeroed
+        partial and folds the partials left to right on the calling thread;
+        NumPy's bincount sums a whole chunk before the single add and IEEE
+        addition onto fresh zeros is exact, so no arithmetic reassociates.
+        """
+        tensor, factors = _problem((30, 29, 28), 5_000, 9, seed=12, with_duplicates=True)
+        for mode in range(3):
+            serial = sparse_mttkrp(tensor, factors, mode, nzchunk=512, rchunk=4, threads=1)
+            for threads in (2, 3, 5, 8):
+                threaded = sparse_mttkrp(
+                    tensor, factors, mode, nzchunk=512, rchunk=4, threads=threads
+                )
+                assert threaded.tobytes() == serial.tobytes()
+
+    def test_threads_bitwise_with_default_chunks(self):
+        tensor, factors = _problem((25, 25, 25), 3_000, 6, seed=13)
+        serial = sparse_mttkrp(tensor, factors, 1, threads=1)
+        threaded = sparse_mttkrp(tensor, factors, 1, threads=4)
+        assert threaded.tobytes() == serial.tobytes()
+
+    def test_threaded_requires_numpy_backend(self):
+        """Compiled scatters accumulate element-wise straight into the output,
+        which would reassociate across threads — non-NumPy backends must
+        refuse threads > 1 instead of silently losing determinism."""
+        from repro.exceptions import ParameterError
+
+        tensor, factors = _problem((10, 9, 8), 200, 4, seed=14)
+        for name in available_backend_names():
+            if name == "numpy":
+                continue
+            with pytest.raises(ParameterError, match="threads"):
+                sparse_mttkrp(
+                    tensor, factors, 0, nzchunk=32, rchunk=2, backend=name, threads=2
+                )
+
+    def test_thread_and_chunk_counters(self):
+        tensor, factors = _problem((8, 8, 8), 100, 6, seed=15)
+        with tracing() as session:
+            sparse_mttkrp(tensor, factors, 0, nzchunk=30, rchunk=4, threads=3)
+        counters = session.metrics.counters()
+        # ceil(100/30) * ceil(6/4) = 4 * 2 chunks, tallied from the caller.
+        assert counters["sparse_mttkrp.chunks"] == 8
+        assert counters["sparse_mttkrp.threads"] == 3
+
+    def test_env_var_resolves_thread_count(self, monkeypatch):
+        from repro.backend.parallel import THREADS_ENV_VAR
+
+        tensor, factors = _problem((12, 11, 10), 400, 5, seed=16)
+        serial = sparse_mttkrp(tensor, factors, 2, nzchunk=64, rchunk=2)
+        monkeypatch.setenv(THREADS_ENV_VAR, "4")
+        with tracing() as session:
+            threaded = sparse_mttkrp(tensor, factors, 2, nzchunk=64, rchunk=2)
+        assert threaded.tobytes() == serial.tobytes()
+        assert session.metrics.counters()["sparse_mttkrp.threads"] == 4
