@@ -238,6 +238,58 @@ class FactorGate:
         observe_inc("factor_gate.invalidate")
         return True
 
+    def invalidate_all(self) -> None:
+        """Bump every factor's version (fault recovery: poisoned-cache purge).
+
+        Every cache keyed on the gate's version counters — tree partials,
+        sampler trees, gathered blocks — sees its stamps go stale at once;
+        the stored factor objects are kept, so the next consumer recomputes
+        from current values rather than re-registering.
+        """
+        for mode in range(len(self.versions)):
+            self.versions[mode] += 1
+            self.drift[mode] = 0.0
+            observe_inc("factor_gate.invalidate")
+
+    def capture_state(self) -> dict:
+        """Version/drift snapshot plus *value* copies of the stored factors.
+
+        On restore the caller offers the resumed run's live factor objects
+        (:meth:`restore_state`'s ``factors``); each mode whose offered value
+        equals the captured one bitwise is rebound to the live object, so
+        identity-based staleness keeps producing hits for version stamps
+        taken before the checkpoint — the key to bitwise resume.  A mode
+        whose value moved (a gate that had not yet seen the newest factor,
+        e.g. the distributed kernel's lazily-registered gate) keeps the
+        captured copy instead, so the next ``register`` bumps it exactly as
+        the uninterrupted run would have.
+        """
+        return {
+            "versions": list(self.versions),
+            "drift": list(self.drift),
+            "skipped": self.skipped,
+            "factors": [
+                None if f is None else np.array(f, copy=True) for f in self.factors
+            ],
+        }
+
+    def restore_state(
+        self, state: dict, factors: Optional[Sequence[Optional[np.ndarray]]] = None
+    ) -> None:
+        """Adopt a snapshot; rebind stored factors to value-equal live objects."""
+        self.versions[:] = [int(v) for v in state["versions"]]
+        self.drift[:] = [float(d) for d in state["drift"]]
+        self.skipped = int(state["skipped"])
+        for mode, captured in enumerate(state["factors"]):
+            offered = factors[mode] if factors is not None else None
+            if captured is None:
+                if offered is not None:
+                    self.factors[mode] = offered
+            elif offered is not None and np.array_equal(offered, captured):
+                self.factors[mode] = offered
+            else:
+                self.factors[mode] = captured
+
 
 # ---------------------------------------------------------------------------
 # the executable engine
@@ -434,6 +486,41 @@ class DimensionTree:
                 continue
             self._gate.register(k, factors[k])
         return rank
+
+    def invalidate_all(self) -> None:
+        """Drop every cached partial and stale every version (fault recovery)."""
+        self._cache.clear()
+        self._gate.invalidate_all()
+        observe_inc("recovery.invalidate")
+
+    def capture_state(self) -> dict:
+        """Snapshot the cache, gate stamps, and counters for bitwise resume."""
+        return {
+            "cache": {
+                key: (entry[0].copy(), entry[1], entry[2], entry[3])
+                for key, entry in self._cache.items()
+            },
+            "gate": self._gate.capture_state(),
+            "counters": (self.contractions, self.flops, self.words, self.root_reads),
+        }
+
+    def restore_state(
+        self, state: dict, factors: Optional[Sequence[Optional[np.ndarray]]] = None
+    ) -> None:
+        """Adopt a snapshot; ``factors`` rebinds the gate to live objects.
+
+        Passing the resumed driver's factor list makes the subsequent
+        identity checks hit (the values are bitwise those the stamps were
+        taken against), so restored partials are served exactly as the
+        uninterrupted run would have served its cached ones.
+        """
+        self._cache.clear()
+        for key, entry in state["cache"].items():
+            self._cache[key] = (entry[0].copy(), entry[1], entry[2], entry[3])
+        self._gate.restore_state(state["gate"], factors)
+        self.contractions, self.flops, self.words, self.root_reads = (
+            int(v) for v in state["counters"]
+        )
 
     def leaf_parent(self, mode: int) -> Tuple[int, ...]:
         """Mode set of the parent node of leaf ``(mode,)`` (the root for ``N = 2``)."""
@@ -643,6 +730,7 @@ class DimensionTreeKernel(SweepKernel):
         self._backend = get_backend(backend)
         self.tree: Optional[DimensionTree] = None
         self._sweep_marks: List[SweepCost] = []
+        self._pending_state: Optional[dict] = None
 
     def begin_sweep(self, iteration: int) -> None:
         self._sweep_marks.append(
@@ -652,6 +740,27 @@ class DimensionTreeKernel(SweepKernel):
     def factor_updated(self, mode: int, factor: np.ndarray) -> None:
         if self.tree is not None:
             self.tree.update_factor(mode, factor)
+
+    # -- checkpoint/restore ---------------------------------------------------
+    def capture_state(self) -> Optional[dict]:
+        """Tree cache + gate stamps + counters (``None`` before the first call)."""
+        if self.tree is None:
+            return None
+        return {"kind": "dimtree", "tree": self.tree.capture_state()}
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Stash a snapshot; applied inside the next :meth:`mttkrp` call.
+
+        The application is lazy because the gate must be rebound to the
+        resumed driver's factor objects — which only arrive with the call.
+        """
+        self._pending_state = state
+
+    def invalidate_caches(self) -> bool:
+        if self.tree is None:
+            return False
+        self.tree.invalidate_all()
+        return True
 
     def mttkrp(
         self, tensor, factors: Sequence[Optional[np.ndarray]], mode: int
@@ -671,6 +780,12 @@ class DimensionTreeKernel(SweepKernel):
             # negative.  Re-open the sweep the driver already announced at
             # zero; earlier runs' sweeps are dropped.
             self._sweep_marks = [SweepCost()] if self._sweep_marks else []
+            if self._pending_state is not None:
+                self.tree.restore_state(self._pending_state["tree"], factors)
+                self._pending_state = None
+                # The resumed sweep opens at the restored totals, not zero.
+                if self._sweep_marks:
+                    self._sweep_marks[-1] = self.tree.counters()
         return self.tree.mttkrp(factors, mode)
 
     def counters(self) -> SweepCost:

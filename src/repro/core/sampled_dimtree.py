@@ -47,6 +47,7 @@ measured-vs-modelled discipline of PRs 2-4.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -235,6 +236,42 @@ class FusedSamplerCache:
         self.draw_words = 0
         self.rebuilds = 0
 
+    def invalidate_all(self) -> bool:
+        """Drop every cached snapshot/sampler; return whether any were held."""
+        had_entries = bool(self._cache)
+        self._cache.clear()
+        return had_entries
+
+    def capture_state(self) -> dict:
+        """Version-stamped snapshots, derived samplers, and counters."""
+        return {
+            "cache": {
+                k: (version, snapshot.copy(), copy.deepcopy(state))
+                for k, (version, snapshot, state) in self._cache.items()
+            },
+            "counters": (
+                self.build_flops,
+                self.build_words,
+                self.draw_flops,
+                self.draw_words,
+                self.rebuilds,
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`capture_state` snapshot (stamps and counters included)."""
+        self._cache = {
+            k: (version, snapshot.copy(), copy.deepcopy(derived))
+            for k, (version, snapshot, derived) in state["cache"].items()
+        }
+        (
+            self.build_flops,
+            self.build_words,
+            self.draw_flops,
+            self.draw_words,
+            self.rebuilds,
+        ) = state["counters"]
+
     def _refresh(self, k: int, factor: np.ndarray, version: int) -> None:
         entry = self._cache.get(k)
         if entry is not None and entry[0] == version:
@@ -411,6 +448,7 @@ class SampledDimtreeKernel(SweepKernel):
         self.eval_words = 0
         self.total_draws = 0
         self.total_distinct = 0
+        self._pending_state: Optional[dict] = None
 
     # -- sweep protocol ------------------------------------------------------
     def begin_sweep(self, iteration: int) -> None:
@@ -419,6 +457,60 @@ class SampledDimtreeKernel(SweepKernel):
     def factor_updated(self, mode: int, factor: np.ndarray) -> None:
         if self.tree is not None:
             self.tree.update_factor(mode, factor)
+
+    # -- checkpoint/restore ---------------------------------------------------
+    def capture_state(self) -> Optional[dict]:
+        """RNG bit-stream position + tree/sampler caches + counters."""
+        return {
+            "kind": "sampled-dimtree",
+            "rng": copy.deepcopy(self._rng.bit_generator.state),
+            "samplers": self.samplers.capture_state(),
+            "draw_log": list(self.draw_log),
+            "eval": (
+                self.eval_flops,
+                self.eval_words,
+                self.total_draws,
+                self.total_distinct,
+            ),
+            "tree": self.tree.capture_state() if self.tree is not None else None,
+        }
+
+    def _apply_counters(self, state: dict) -> None:
+        self.samplers.restore_state(state["samplers"])
+        self.draw_log = list(state["draw_log"])
+        (
+            self.eval_flops,
+            self.eval_words,
+            self.total_draws,
+            self.total_distinct,
+        ) = state["eval"]
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Adopt a snapshot now (RNG) and lazily (tree caches, next mttkrp).
+
+        The RNG position applies immediately — the ``cache=False`` degenerate
+        path consumes it without ever building a tree.  When the snapshot
+        holds a tree, its caches/counters are applied inside the next
+        :meth:`mttkrp` (after the rebuild that would otherwise reset them),
+        where the gate can be rebound to the resumed driver's factors.
+        """
+        self._pending_state = None
+        if state is None:
+            return
+        self._rng.bit_generator.state = copy.deepcopy(state["rng"])
+        if state["tree"] is None:
+            self._apply_counters(state)
+        else:
+            self._pending_state = state
+
+    def invalidate_caches(self) -> bool:
+        invalidated = self.samplers.invalidate_all()
+        if self.tree is not None:
+            self.tree.invalidate_all()
+            invalidated = True
+        if invalidated:
+            observe_inc("recovery.sampler_invalidate")
+        return invalidated
 
     # -- counters ------------------------------------------------------------
     def counters(self) -> FusedSweepCost:
@@ -552,6 +644,13 @@ class SampledDimtreeKernel(SweepKernel):
             self.eval_words = 0
             self.total_draws = 0
             self.total_distinct = 0
+            if self._pending_state is not None:
+                self.tree.restore_state(self._pending_state["tree"], factors)
+                self._apply_counters(self._pending_state)
+                self._pending_state = None
+                # The resumed sweep opens at the restored totals, not zero.
+                if self._sweep_marks:
+                    self._sweep_marks[-1] = self.counters()
         rank = self.tree.register_factors(factors, mode)
         n_draws = self._default_draws(rank)
 

@@ -26,6 +26,7 @@ kernel-registry validator shared by :func:`repro.cp.als.cp_als` and
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -56,6 +57,40 @@ class SweepKernel:
         """Compute the mode-``mode`` MTTKRP ``B`` of shape ``(I_mode, R)``."""
         raise NotImplementedError
 
+    # -- checkpoint/restore protocol (ISSUE 10) ------------------------------
+    def capture_state(self) -> Optional[dict]:
+        """Snapshot of every cross-call state the kernel holds, or ``None``.
+
+        The contract with :meth:`restore_state`: a fresh kernel instance
+        (same constructor arguments) restored from this snapshot serves the
+        remaining ALS sweeps *bitwise identical* to this instance — cached
+        partials, staleness versions, RNG bit-stream position, everything.
+        Stateless kernels return ``None`` (the default).
+        """
+        return None
+
+    def restore_state(self, state: Optional[dict]) -> None:  # noqa: B027
+        """Adopt a :meth:`capture_state` snapshot (no-op for stateless kernels).
+
+        Kernels whose caches key staleness on factor *identity* apply the
+        snapshot lazily inside the next :meth:`mttkrp` call, rebinding their
+        gate to the resumed driver's factor objects so the restored version
+        stamps keep producing cache hits.
+        """
+
+    def invalidate_caches(self) -> bool:
+        """Drop every cached/derived value (graceful-degradation hook).
+
+        Called by the drivers' ``on_fault="retry"`` policy when a served
+        MTTKRP looks poisoned (non-finite): the kernel must route the
+        invalidation through its staleness authority (the
+        :class:`~repro.core.dimtree.FactorGate` for the tree kernels) so
+        every dependent cache — partials, sampler trees, gathered blocks —
+        drops together.  Returns whether anything was invalidated (``False``
+        for cache-less kernels, where a retry cannot change the answer).
+        """
+        return False
+
     def __call__(
         self, tensor, factors: Sequence[Optional[np.ndarray]], mode: int
     ) -> np.ndarray:
@@ -67,18 +102,36 @@ class PerCallKernel(SweepKernel):
 
     The wrapped callable is re-invoked from scratch on every call (the
     historical behaviour of every kernel before the protocol existed); the
-    sweep hooks are no-ops.
+    sweep hooks are no-ops.  When the callable owns a
+    :class:`numpy.random.Generator` (the sampled kernels), pass it as
+    ``rng`` so checkpoint/restore can capture the bit-stream position — the
+    only cross-call state a per-call kernel can have.
     """
 
-    def __init__(self, fn: MTTKRPCallable) -> None:
+    def __init__(self, fn: MTTKRPCallable, *, rng: Optional[np.random.Generator] = None) -> None:
         if not callable(fn):
             raise ParameterError("PerCallKernel requires a callable MTTKRP kernel")
         self.fn = fn
+        self.rng = rng
 
     def mttkrp(
         self, tensor, factors: Sequence[Optional[np.ndarray]], mode: int
     ) -> np.ndarray:
         return self.fn(tensor, factors, mode)
+
+    def capture_state(self) -> Optional[dict]:
+        if self.rng is None:
+            return None
+        return {"kind": "per-call", "rng": copy.deepcopy(self.rng.bit_generator.state)}
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        if state is None:
+            return
+        if self.rng is None:
+            raise ParameterError(
+                "cannot restore an RNG state into a PerCallKernel built without rng"
+            )
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
 
 
 def as_sweep_kernel(kernel) -> SweepKernel:

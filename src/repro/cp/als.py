@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,8 +31,10 @@ from repro.core.sweep_kernel import (
     check_kernel_name,
 )
 from repro.cp.initialization import initialize_factors
-from repro.exceptions import ConvergenceWarning, ParameterError
+from repro.exceptions import ConvergenceWarning, FaultError, ParameterError
+from repro.observe.instrument import inc as observe_inc
 from repro.observe.tracer import trace
+from repro.resilience.checkpoint import CheckpointState, CheckpointStore
 from repro.tensor.dense import as_ndarray
 from repro.tensor.kruskal import KruskalTensor
 from repro.utils.validation import check_rank
@@ -63,6 +65,83 @@ KERNEL_NAMES = (
     "sampled-tree",
     "sampled-dimtree",
 )
+
+#: Graceful-degradation policies for a poisoned (non-finite) MTTKRP output.
+FAULT_POLICIES = ("raise", "retry", "degrade")
+
+
+def _check_finite(name: str, array: np.ndarray) -> None:
+    """Reject NaN/Inf inputs up front (they silently poison every sweep)."""
+    if not np.all(np.isfinite(array)):
+        raise ParameterError(f"{name} contains non-finite values (NaN or Inf)")
+
+
+def _solve_normal_equations(gram: np.ndarray, b: np.ndarray, rank: int) -> np.ndarray:
+    """Solve the normal equations ``factor @ gram = b``, clean solve first.
+
+    The historical unconditional ``1e-12`` ridge perturbed every factor at
+    the regularizer's scale even when the Gram was perfectly conditioned.
+    Now the escalation is: clean ``solve``; on ``LinAlgError`` or non-finite
+    output, least squares (counted as ``als.solve.fallback``); only if that
+    also fails, the ridge (counted as ``als.solve.ridge``).
+    """
+    try:
+        factor = np.linalg.solve(gram.T, b.T).T
+        if np.all(np.isfinite(factor)):
+            return factor
+    except np.linalg.LinAlgError:
+        pass
+    observe_inc("als.solve.fallback")
+    try:
+        factor = np.linalg.lstsq(gram.T, b.T, rcond=None)[0].T
+        if np.all(np.isfinite(factor)):
+            return factor
+    except np.linalg.LinAlgError:
+        pass
+    observe_inc("als.solve.ridge")
+    return np.linalg.solve(gram.T + 1e-12 * np.eye(rank), b.T).T
+
+
+def _recover_mttkrp(
+    sweep_kernel: SweepKernel,
+    data: np.ndarray,
+    factors: Sequence[np.ndarray],
+    mode: int,
+    on_fault: str,
+) -> Tuple[np.ndarray, int]:
+    """Apply the ``on_fault`` policy to a poisoned (non-finite) MTTKRP.
+
+    Returns the recovered MTTKRP and the number of extra kernel evaluations
+    performed.  ``"retry"`` invalidates the kernel's caches through its
+    staleness authority and recomputes; if that cannot help (cache-less
+    kernel, or the recompute is still poisoned) it degrades — like
+    ``"degrade"`` — to the exact einsum kernel on the raw tensor.
+    """
+    observe_inc("fault.detected")
+    if on_fault == "raise":
+        raise FaultError(
+            f"MTTKRP for mode {mode} produced non-finite values (poisoned "
+            "kernel cache?); rerun with on_fault='retry' to recover"
+        )
+    extra_calls = 0
+    with trace("recovery", mode=mode, policy=on_fault):
+        observe_inc("recovery.attempt")
+        if on_fault == "retry" and sweep_kernel.invalidate_caches():
+            b = sweep_kernel.mttkrp(data, factors, mode)
+            extra_calls += 1
+            if np.all(np.isfinite(b)):
+                observe_inc("recovery.recovered")
+                return b, extra_calls
+        # Graceful degradation: the exact einsum kernel on the raw tensor.
+        b = mttkrp(data, factors, mode)
+        extra_calls += 1
+        if not np.all(np.isfinite(b)):
+            raise FaultError(
+                f"exact-kernel fallback for mode {mode} still produced "
+                "non-finite values; the tensor or factors themselves are corrupted"
+            )
+        observe_inc("recovery.degraded")
+    return b, extra_calls
 
 
 @dataclass
@@ -179,9 +258,10 @@ def _resolve_kernel(
         from repro.sketch.sampled_mttkrp import make_sampled_kernel
 
         distribution = "tree-leverage" if kernel == "sampled-tree" else "product-leverage"
-        return PerCallKernel(
-            make_sampled_kernel(seed=_kernel_seed(seed), distribution=distribution)
-        )
+        fn = make_sampled_kernel(seed=_kernel_seed(seed), distribution=distribution)
+        # Hand the closure's generator to the adapter so checkpoint/restore
+        # can capture the bit-stream position (the closure's only state).
+        return PerCallKernel(fn, rng=fn.rng)
     return PerCallKernel(_KERNELS[kernel])
 
 
@@ -199,6 +279,9 @@ def cp_als(
     backend: Union[None, str, Backend] = None,
     threads: Optional[int] = None,
     warn_on_nonconvergence: bool = False,
+    on_fault: str = "raise",
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume_from: Optional[CheckpointState] = None,
 ) -> CPALSResult:
     """Fit a rank-``R`` CP decomposition with alternating least squares.
 
@@ -247,6 +330,24 @@ def cp_als(
     warn_on_nonconvergence:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` when the loop
         exhausts ``n_iter_max`` without meeting ``tol``.
+    on_fault:
+        Policy for a poisoned (non-finite) MTTKRP output
+        (:data:`FAULT_POLICIES`): ``"raise"`` (default) raises
+        :class:`~repro.exceptions.FaultError`; ``"retry"`` invalidates the
+        kernel's caches through its staleness authority and recomputes,
+        degrading to the exact einsum kernel if that cannot help;
+        ``"degrade"`` goes straight to the exact kernel.
+    checkpoint_store:
+        When given, a :class:`~repro.resilience.checkpoint.CheckpointState`
+        is saved into it after every ``checkpoint_store.every``-th completed
+        sweep (factors, fit history, and the kernel's full cache/RNG state).
+    resume_from:
+        A previously captured checkpoint: the run resumes at sweep
+        ``resume_from.iteration + 1``, bitwise identical to the uninterrupted
+        run for every registry kernel.  The ``init`` and ``seed`` of the
+        original run should be passed unchanged (they are ignored for state,
+        but seed still feeds a fresh sampled kernel unless the kernel state
+        overrides it — which the checkpoint does).
 
     Returns
     -------
@@ -256,6 +357,11 @@ def cp_als(
     rank = check_rank(rank)
     if data.ndim < 2:
         raise ParameterError("CP-ALS requires a tensor with at least 2 modes")
+    if on_fault not in FAULT_POLICIES:
+        raise ParameterError(
+            f"unknown on_fault policy {on_fault!r}; use one of {FAULT_POLICIES}"
+        )
+    _check_finite("tensor", data)
     sweep_kernel = _resolve_kernel(
         kernel, seed, invalidation, invalidation_tol, backend, threads
     )
@@ -266,6 +372,8 @@ def cp_als(
         factors = [np.asarray(f, dtype=np.float64).copy() for f in init]
         if len(factors) != data.ndim:
             raise ParameterError("explicit init must provide one factor matrix per mode")
+        for mode, factor in enumerate(factors):
+            _check_finite(f"init factor for mode {mode}", factor)
 
     norm_x = float(np.linalg.norm(data.ravel()))
     weights = np.ones(rank, dtype=np.float64)
@@ -277,8 +385,24 @@ def cp_als(
     previous_fit = -np.inf
     last_mode = data.ndim - 1
 
-    iteration = 0
-    for iteration in range(1, n_iter_max + 1):
+    start_iteration = 0
+    if resume_from is not None:
+        resume_from.check_problem(data.shape, rank)
+        ckpt = resume_from.copy()
+        factors = [np.asarray(f, dtype=np.float64) for f in ckpt.factors]
+        weights = np.asarray(ckpt.weights, dtype=np.float64)
+        # Recomputed, not stored: ``f.T @ f`` of bitwise-equal factors is
+        # bitwise equal, so the Gram caches need no checkpoint entries.
+        grams = [f.T @ f for f in factors]
+        fits = list(ckpt.fits)
+        previous_fit = ckpt.previous_fit
+        mttkrp_calls = ckpt.mttkrp_calls
+        start_iteration = int(ckpt.iteration)
+        sweep_kernel.restore_state(ckpt.kernel_state)
+        observe_inc("checkpoint.restored")
+
+    iteration = start_iteration
+    for iteration in range(start_iteration + 1, n_iter_max + 1):
         final_mttkrp = None
         sweep_kernel.begin_sweep(iteration)
         with trace("sweep", iteration=iteration):
@@ -297,8 +421,13 @@ def cp_als(
                 with trace("mode", mode=mode):
                     b = sweep_kernel.mttkrp(data, factors, mode)
                     mttkrp_calls += 1
+                    if not np.all(np.isfinite(b)):
+                        b, extra = _recover_mttkrp(
+                            sweep_kernel, data, factors, mode, on_fault
+                        )
+                        mttkrp_calls += extra
                     gram = prefix * suffix[mode + 1]
-                    factor = np.linalg.solve(gram.T + 1e-12 * np.eye(rank), b.T).T
+                    factor = _solve_normal_equations(gram, b, rank)
                     # Column normalisation keeps the factors well-scaled across sweeps.
                     norms = np.linalg.norm(factor, axis=0)
                     norms = np.where(norms > 0, norms, 1.0)
@@ -324,6 +453,22 @@ def cp_als(
             converged = True
             break
         previous_fit = fit
+
+        if checkpoint_store is not None and checkpoint_store.wants(iteration):
+            checkpoint_store.save(
+                CheckpointState(
+                    iteration=iteration,
+                    factors=factors,
+                    weights=weights,
+                    fits=fits,
+                    previous_fit=float(previous_fit),
+                    mttkrp_calls=mttkrp_calls,
+                    kernel_state=sweep_kernel.capture_state(),
+                    shape=tuple(data.shape),
+                    rank=rank,
+                )
+            )
+            observe_inc("checkpoint.saved")
 
     if not converged and warn_on_nonconvergence:
         warnings.warn(

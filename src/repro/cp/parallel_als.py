@@ -19,13 +19,14 @@ import numpy as np
 from repro.backend import Backend, get_backend
 from repro.core.sweep_kernel import PerCallKernel, SweepKernel, check_kernel_name
 from repro.cp.als import cp_als, CPALSResult
-from repro.exceptions import ParameterError
+from repro.exceptions import DistributionError, ParameterError
 from repro.observe.tracer import trace
 from repro.parallel.dimtree import DistributedDimtreeKernel
 from repro.parallel.general import general_mttkrp
 from repro.parallel.grid_selection import choose_general_grid, choose_stationary_grid
 from repro.parallel.machine import SimulatedMachine
 from repro.parallel.stationary import stationary_mttkrp
+from repro.resilience.checkpoint import CheckpointState, CheckpointStore
 from repro.tensor.dense import as_ndarray
 from repro.utils.validation import check_positive_int, check_rank
 
@@ -80,6 +81,26 @@ class _SweepWordCounter(SweepKernel):
             self._words_before = current
         return result
 
+    # -- checkpoint/restore: forward, adding this counter's own call state.
+    def capture_state(self) -> Optional[dict]:
+        return {
+            "kind": "sweep-word-counter",
+            "calls": self._calls,
+            "inner": self.inner.capture_state(),
+        }
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        if state is None:
+            return
+        self._calls = int(state["calls"])
+        # Per-sweep deltas of the resumed run are measured from the resumed
+        # machine's current ledger, whatever it already accumulated.
+        self._words_before = self.machine.max_words_communicated
+        self.inner.restore_state(state["inner"])
+
+    def invalidate_caches(self) -> bool:
+        return self.inner.invalidate_caches()
+
 
 @dataclass
 class ParallelCPALSResult:
@@ -128,6 +149,11 @@ def parallel_cp_als(
     invalidation_tol: float = 1e-2,
     backend: Union[None, str, Backend] = None,
     threads: Optional[int] = None,
+    machine: Optional[SimulatedMachine] = None,
+    fault_schedule=None,
+    on_fault: str = "raise",
+    checkpoint_store: Optional[CheckpointStore] = None,
+    resume_from: Optional[CheckpointState] = None,
 ) -> ParallelCPALSResult:
     """Run CP-ALS with every MTTKRP executed on the simulated parallel machine.
 
@@ -180,6 +206,23 @@ def parallel_cp_als(
         run as independent tasks, so fits, factors, and counted
         communication are bitwise identical for every value.  The other
         kernels ignore it.
+    machine:
+        A pre-existing :class:`SimulatedMachine` (or
+        :class:`~repro.resilience.machine.FaultyMachine`) to accumulate the
+        run's communication; a fresh one is created otherwise.  Must have
+        exactly ``n_procs`` ranks.
+    fault_schedule:
+        A :class:`~repro.resilience.faults.FaultSchedule`: the run executes
+        on a :class:`~repro.resilience.machine.FaultyMachine` injecting the
+        scheduled faults into every collective (mutually exclusive with an
+        explicit ``machine``).  Dropped/corrupted attempts are re-driven
+        with exponential backoff and charged to the machine's retry ledgers
+        — delivered payloads are never corrupted, so fits and factors stay
+        bitwise those of the fault-free run.
+    on_fault, checkpoint_store, resume_from:
+        Forwarded to :func:`repro.cp.als.cp_als` — the poisoned-MTTKRP
+        policy and the checkpoint/resume protocol work identically under
+        the distributed kernels.
 
     Returns
     -------
@@ -210,7 +253,23 @@ def parallel_cp_als(
         # fused distributions).
         sample_distribution = "tree-leverage"
 
-    machine = SimulatedMachine(n_procs)
+    if machine is not None and fault_schedule is not None:
+        raise ParameterError(
+            "pass either a pre-built machine or a fault_schedule, not both "
+            "(build a FaultyMachine yourself to combine them)"
+        )
+    if machine is None:
+        if fault_schedule is not None:
+            # Lazy import: repro.resilience layers on the parallel machine.
+            from repro.resilience.machine import FaultyMachine
+
+            machine = FaultyMachine(n_procs, fault_schedule)
+        else:
+            machine = SimulatedMachine(n_procs)
+    elif machine.n_procs != n_procs:
+        raise DistributionError(
+            f"machine has {machine.n_procs} processors but n_procs={n_procs}"
+        )
     grids: List[Sequence[int]] = []
     if algorithm == "stationary":
         grid = choose_stationary_grid(data.shape, rank, n_procs)
@@ -275,7 +334,9 @@ def parallel_cp_als(
                 machine=machine,
             ).assemble()
 
-        inner = PerCallKernel(sampled_kernel)
+        # The shared draw generator is the closure's only cross-call state;
+        # hand it to the adapter so checkpoints capture the stream position.
+        inner = PerCallKernel(sampled_kernel, rng=sample_rng)
     else:
 
         def exact_kernel(local_tensor, factors, mode):
@@ -308,6 +369,9 @@ def parallel_cp_als(
             seed=seed,
             init=init,
             kernel=_SweepWordCounter(inner, machine, data.ndim, words_per_iteration),
+            on_fault=on_fault,
+            checkpoint_store=checkpoint_store,
+            resume_from=resume_from,
         )
     return ParallelCPALSResult(
         als=als_result,

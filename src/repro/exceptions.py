@@ -40,5 +40,17 @@ class BackendUnavailableError(ReproError, RuntimeError):
     """A registered execution backend's optional dependency is not installed."""
 
 
+class FaultError(ReproError, RuntimeError):
+    """An injected or detected fault could not be recovered from."""
+
+
+class RankFailureError(FaultError):
+    """A simulated rank died mid-collective (recover via checkpoint/restore)."""
+
+
+class RetryExhaustedError(FaultError):
+    """A collective kept failing past the machine's retry budget."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative method (e.g. CP-ALS) stopped before reaching tolerance."""

@@ -17,6 +17,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.crossover import crossover_rows, format_crossover_table
+from repro.experiments.fault_sweep import fault_sweep_rows, format_fault_sweep_table
 from repro.experiments.figure1 import format_figure1_report
 from repro.experiments.figure4 import figure4_rows, format_figure4_table
 from repro.experiments.matmul_comparison import (
@@ -87,6 +88,20 @@ def _run_sketch_crossover(quick: bool) -> str:
     return format_sketch_crossover_table(rows)
 
 
+def _run_fault_sweep(quick: bool) -> str:
+    if quick:
+        rows = fault_sweep_rows(
+            shape=(6, 6, 4),
+            rank=2,
+            n_sweeps=3,
+            kernels=("exact", "dimtree"),
+            fault_counts=(0, 3),
+        )
+    else:
+        rows = fault_sweep_rows()
+    return format_fault_sweep_table(rows)
+
+
 def _run_sketch_parallel(quick: bool) -> str:
     if quick:
         rows = sketch_parallel_rows(
@@ -111,6 +126,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "tab-matmul-factors": _run_matmul,
     "sketch-crossover": _run_sketch_crossover,
     "sketch-parallel": _run_sketch_parallel,
+    "fault-sweep": _run_fault_sweep,
 }
 
 

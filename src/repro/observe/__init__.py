@@ -21,6 +21,7 @@ from repro.observe.drift import (
     dimtree_drift,
     fused_drift,
     parallel_words_drift,
+    retry_ledger_drift,
 )
 from repro.observe.export import (
     CHROME_TRACE_REQUIRED_KEYS,
@@ -76,6 +77,7 @@ __all__ = [
     "percentile",
     "record_collective",
     "record_label",
+    "retry_ledger_drift",
     "start_trace",
     "stop_trace",
     "trace",

@@ -34,6 +34,7 @@ __all__ = [
     "dimtree_drift",
     "fused_drift",
     "parallel_words_drift",
+    "retry_ledger_drift",
 ]
 
 
@@ -255,4 +256,65 @@ def parallel_words_drift(
             )
         )
         previous_total = total
+    return report
+
+
+def retry_ledger_drift(machine, baseline) -> DriftReport:
+    """Ledger-under-faults vs fault-free ledger + charged retries, per rank.
+
+    The exactness claim of the retrying collectives (ISSUE 10): every word a
+    faulted run sends is either a word the fault-free run sends or a word
+    charged to the retry ledgers — nothing double-counted, nothing lost.  So
+    for every rank ``r``::
+
+        machine.words_sent[r] == baseline_words_sent[r] + machine.retry_words_sent[r]
+
+    and likewise for words received and messages sent.  ``machine`` is the
+    (possibly faulted) :class:`~repro.parallel.machine.SimulatedMachine` of
+    the run under test; ``baseline`` is either the machine of an identical
+    fault-free run or a bare per-rank predicted ``words_sent`` array (e.g.
+    :func:`repro.parallel.dimtree.predicted_dimtree_ledger`), in which case
+    only the sent-words invariant is checked.
+    """
+    report = DriftReport(kernel="retry-ledger")
+    if hasattr(baseline, "words_sent"):
+        if baseline.n_procs != machine.n_procs:
+            raise ValueError(
+                f"baseline machine has {baseline.n_procs} ranks, "
+                f"faulted machine has {machine.n_procs}"
+            )
+        quantities = [
+            ("words_sent", baseline.words_sent, machine.words_sent, machine.retry_words_sent),
+            (
+                "words_received",
+                baseline.words_received,
+                machine.words_received,
+                machine.retry_words_received,
+            ),
+            (
+                "messages_sent",
+                baseline.messages_sent,
+                machine.messages_sent,
+                machine.retry_messages_sent,
+            ),
+        ]
+    else:
+        import numpy as np
+
+        base = np.asarray(baseline)
+        if base.shape != (machine.n_procs,):
+            raise ValueError(
+                f"baseline ledger must have shape ({machine.n_procs},), got {base.shape}"
+            )
+        quantities = [("words_sent", base, machine.words_sent, machine.retry_words_sent)]
+    for name, base, measured, retries in quantities:
+        for r in range(machine.n_procs):
+            report.records.append(
+                DriftRecord(
+                    f"rank[{r}]",
+                    name,
+                    int(measured[r]),
+                    int(base[r]) + int(retries[r]),
+                )
+            )
     return report

@@ -13,16 +13,30 @@ size — so every participating rank is charged ``(q - 1) * w`` words sent and
 All collectives take the participating ``group`` (an ordered list of ranks —
 ordering defines how blocks are concatenated / scattered) and a mapping from
 rank to that rank's local buffer.
+
+**Fault semantics** (ISSUE 10): before charging, every collective polls
+``machine.consult_fault`` — a no-op on the base machine, a schedule match on
+a :class:`~repro.resilience.machine.FaultyMachine`.  A dropped or corrupted
+attempt is *re-driven* with exponential backoff (``2**attempt`` units): its
+traffic really crossed the network, so it is charged to the main ledgers
+*and* to the machine's retry ledgers under a ``<label>/retry`` record, and
+the delivered payload is the intact re-driven one — results stay bitwise
+fault-free while the ledger grows by exactly the charged retries (the
+invariant :func:`repro.observe.drift.retry_ledger_drift` asserts).  A
+``"delay"`` fault charges latency units and lets the payload through; a
+``"rank-failure"`` raises :class:`~repro.exceptions.RankFailureError`
+(recovery is checkpoint/restore at the driver).  Exhausting the machine's
+``max_attempts`` raises :class:`~repro.exceptions.RetryExhaustedError`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import MachineError
-from repro.observe.instrument import record_collective
+from repro.exceptions import MachineError, RankFailureError, RetryExhaustedError
+from repro.observe.instrument import inc as observe_inc, record_collective
 from repro.parallel.machine import CommunicationRecord, SimulatedMachine
 from repro.utils.partition import partition_bounds
 
@@ -45,6 +59,48 @@ def bucket_reduce_scatter_cost(group_size: int, max_result_words: int) -> int:
     return (group_size - 1) * int(max_result_words)
 
 
+def _drive_with_retries(
+    machine: SimulatedMachine,
+    kind: str,
+    group: Sequence[int],
+    label: str,
+    charge_wasted_attempt: Callable[[int], None],
+) -> None:
+    """Poll the machine's fault hook until an attempt goes through.
+
+    ``charge_wasted_attempt(backoff)`` charges one dropped/corrupted
+    attempt's traffic (main + retry ledgers); this helper owns the shared
+    retry policy — exponential backoff, the retry budget, delay charging,
+    and rank-failure propagation — so the symmetric bucket collectives and
+    the asymmetric root gather behave identically under faults.
+    """
+    attempt = 0
+    while True:
+        fault = machine.consult_fault(kind, label, group, attempt)
+        if fault is None:
+            return
+        if fault.kind == "rank-failure":
+            raise RankFailureError(
+                f"rank failure injected into {kind} ({label!r}); "
+                "recover from a checkpoint (repro.resilience.checkpoint)"
+            )
+        if fault.kind == "delay":
+            for rank in group:
+                machine.charge_delay(rank, fault.delay_units)
+            observe_inc("retry.delay_units", int(fault.delay_units) * len(group))
+            return
+        # drop / corrupt: the attempt is wasted; charge it and re-drive.
+        charge_wasted_attempt(2**attempt)
+        observe_inc("retry.count")
+        observe_inc("retry.backoff_units", 2**attempt)
+        attempt += 1
+        if attempt >= machine.max_attempts:
+            raise RetryExhaustedError(
+                f"{kind} ({label!r}) failed {attempt} times, exhausting the "
+                f"retry budget of {machine.max_attempts} attempts"
+            )
+
+
 def _charge_group(
     machine: SimulatedMachine,
     kind: str,
@@ -54,6 +110,21 @@ def _charge_group(
 ) -> None:
     # Bucket algorithms proceed in q-1 steps; each step is one message per rank.
     messages = max(len(group) - 1, 0)
+
+    def charge_wasted_attempt(backoff: int) -> None:
+        for rank in group:
+            machine.charge_retry(rank, words_per_rank, messages, backoff=backoff)
+        machine.log(
+            CommunicationRecord(
+                kind=f"{kind}.retry",
+                group=tuple(group),
+                words_per_rank=words_per_rank,
+                label=f"{label}/retry",
+            )
+        )
+        record_collective(f"{kind}.retry", f"{label}/retry", len(group), words_per_rank, messages)
+
+    _drive_with_retries(machine, kind, group, label, charge_wasted_attempt)
     for rank in group:
         machine.charge_send(rank, words_per_rank)
         machine.charge_receive(rank, words_per_rank)
@@ -228,6 +299,34 @@ def gather_to_root(
     if root not in group:
         raise MachineError(f"gather root {root} is not in the group {group}")
     blocks = [np.asarray(local_blocks[r]) for r in group]
+    max_block = max(int(b.size) for b in blocks)
+
+    def charge_wasted_attempt(backoff: int) -> None:
+        # The gather's charging is asymmetric (root receives everything), and
+        # so is a wasted attempt's: non-root ranks re-send their block, the
+        # root re-receives it — charged on the main ledgers through the
+        # normal paths and mirrored on the retry ledgers.
+        for rank, block in zip(group, blocks):
+            if rank == root:
+                continue
+            words = int(block.size)
+            machine.charge_send(rank, words)
+            machine.charge_receive(root, words)
+            machine.retry_words_sent[rank] += words
+            machine.retry_words_received[root] += words
+        for rank in group:
+            machine.backoff_units[rank] += int(backoff)
+        machine.log(
+            CommunicationRecord(
+                kind="gather.retry",
+                group=tuple(group),
+                words_per_rank=max_block,
+                label=f"{label}/retry",
+            )
+        )
+        record_collective("gather.retry", f"{label}/retry", len(group), max_block, 0)
+
+    _drive_with_retries(machine, "gather", group, label, charge_wasted_attempt)
     for rank, block in zip(group, blocks):
         if rank == root:
             continue
@@ -235,7 +334,7 @@ def gather_to_root(
         machine.charge_receive(root, int(block.size))
     machine.log(
         CommunicationRecord(
-            kind="gather", group=tuple(group), words_per_rank=max(int(b.size) for b in blocks), label=label
+            kind="gather", group=tuple(group), words_per_rank=max_block, label=label
         )
     )
     return np.concatenate(blocks, axis=axis) if len(blocks) > 1 else blocks[0].copy()

@@ -108,6 +108,57 @@ class DistributedDimtreeKernel(SweepKernel):
         self._tensor_blocks = None
         self._gathered: Dict[int, Dict[int, np.ndarray]] = {}
         self._gathered_version: Dict[int, int] = {}
+        self._pending_state: Optional[dict] = None
+
+    # -- checkpoint/restore ---------------------------------------------------
+    def capture_state(self) -> Optional[dict]:
+        """Gate stamps, gathered blocks, and per-rank tree caches."""
+        if self.gate is None:
+            return None
+        return {
+            "kind": "parallel-dimtree",
+            "gate": self.gate.capture_state(),
+            "gathered": {
+                k: {r: block.copy() for r, block in blocks.items()}
+                for k, blocks in self._gathered.items()
+            },
+            "gathered_version": dict(self._gathered_version),
+            "trees": {r: tree.capture_state() for r, tree in self._trees.items()},
+        }
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Stash a snapshot; applied inside the next :meth:`mttkrp` call."""
+        self._pending_state = state
+
+    def invalidate_caches(self) -> bool:
+        if self.gate is None:
+            return False
+        self._gathered.clear()
+        self._gathered_version.clear()
+        for tree in self._trees.values():
+            tree.invalidate_all()
+        self.gate.invalidate_all()
+        return True
+
+    def _apply_pending(self, factors: Sequence[Optional[np.ndarray]]) -> None:
+        state = self._pending_state
+        self._pending_state = None
+        self.gate.restore_state(state["gate"], factors)
+        self._gathered = {
+            k: {r: block.copy() for r, block in blocks.items()}
+            for k, blocks in state["gathered"].items()
+        }
+        self._gathered_version = dict(state["gathered_version"])
+        ndim = len(self.grid.dims)
+        for r, tree in self._trees.items():
+            # Per-rank trees key staleness on the gathered blocks' identity:
+            # rebind each tree's gate to the restored blocks so its cached
+            # partials keep hitting.
+            local = [
+                self._gathered[k][r] if k in self._gathered else None
+                for k in range(ndim)
+            ]
+            tree.restore_state(state["trees"][r], local)
 
     def _ensure_setup(self, data: np.ndarray, rank: int) -> None:
         if self.dist is not None:
@@ -165,6 +216,8 @@ class DistributedDimtreeKernel(SweepKernel):
         if rank is None:
             raise DistributionError("at least one input factor matrix is required")
         self._ensure_setup(data, rank)
+        if self._pending_state is not None:
+            self._apply_pending(factors)
 
         # -- re-gather only the factors the gate declares stale (under the
         #    default exact policy: exactly the ones the driver has replaced).

@@ -56,6 +56,11 @@ class SimulatedMachine:
         overflow.
     """
 
+    #: Attempts a collective may make before the retry loop gives up
+    #: (:class:`~repro.exceptions.RetryExhaustedError`); the first attempt
+    #: counts, so up to ``max_attempts - 1`` failures are absorbed.
+    max_attempts: int = 5
+
     def __init__(self, n_procs: int, *, local_memory_words: Optional[int] = None) -> None:
         self.n_procs = check_positive_int(n_procs, "n_procs")
         if local_memory_words is not None:
@@ -66,6 +71,16 @@ class SimulatedMachine:
         self.messages_sent = np.zeros(self.n_procs, dtype=np.int64)
         self.flops = np.zeros(self.n_procs, dtype=np.int64)
         self.storage_high_water = np.zeros(self.n_procs, dtype=np.int64)
+        # Retry ledgers: the slice of the main ledgers attributable to
+        # re-driven collectives.  Every retry charge also lands on the main
+        # ledgers, so ``words_sent == fault-free words + retry_words_sent``
+        # holds by construction (the invariant
+        # :func:`repro.observe.drift.retry_ledger_drift` asserts exactly).
+        self.retry_words_sent = np.zeros(self.n_procs, dtype=np.int64)
+        self.retry_words_received = np.zeros(self.n_procs, dtype=np.int64)
+        self.retry_messages_sent = np.zeros(self.n_procs, dtype=np.int64)
+        self.backoff_units = np.zeros(self.n_procs, dtype=np.int64)
+        self.delay_units = np.zeros(self.n_procs, dtype=np.int64)
         self.records: List[CommunicationRecord] = []
 
     # -- validation ---------------------------------------------------------
@@ -133,6 +148,51 @@ class SimulatedMachine:
                 f"rank {rank} exceeded local memory: {words} > {self.local_memory_words}"
             )
 
+    def charge_retry(self, rank: int, words: int, messages: int, *, backoff: int = 0) -> None:
+        """Charge one rank's share of a *wasted* (re-driven) collective attempt.
+
+        The traffic of a dropped or corrupted attempt really crossed the
+        network, so it lands on the main ledgers through the normal charge
+        paths — and is additionally tallied on the retry ledgers so the
+        drift detector can separate it from fault-free traffic exactly.
+        ``backoff`` records the exponential-backoff wait (in abstract units)
+        the rank spent before the re-drive.
+        """
+        rank = self.check_rank(rank)
+        self.charge_send(rank, words)
+        self.charge_receive(rank, words)
+        self.charge_messages(rank, messages)
+        self.retry_words_sent[rank] += int(words)
+        self.retry_words_received[rank] += int(words)
+        self.retry_messages_sent[rank] += int(messages)
+        if backoff < 0:
+            raise MachineError("backoff units cannot be negative")
+        self.backoff_units[rank] += int(backoff)
+
+    def charge_delay(self, rank: int, units: int) -> None:
+        """Record a latency spike of ``units`` abstract time units at ``rank``.
+
+        Delays move no extra words (the payload arrives late but intact), so
+        they live on their own ledger and never perturb the word counts the
+        paper's bounds talk about.
+        """
+        rank = self.check_rank(rank)
+        if units < 0:
+            raise MachineError("delay units cannot be negative")
+        self.delay_units[rank] += int(units)
+
+    # -- fault consultation ---------------------------------------------------
+    def consult_fault(self, kind: str, label: str, group: Sequence[int], attempt: int):
+        """Hook the collectives call before charging an attempt.
+
+        The base machine is fault-free: always ``None`` (proceed).  The
+        :class:`~repro.resilience.machine.FaultyMachine` subclass matches the
+        attempt against its seeded :class:`~repro.resilience.faults.FaultSchedule`
+        and returns the matched spec, which the collective layer turns into a
+        drop/corrupt re-drive, a delay charge, or a rank failure.
+        """
+        return None
+
     def log(self, record: CommunicationRecord) -> None:
         """Append a communication record to the trace."""
         self.records.append(record)
@@ -179,6 +239,21 @@ class SimulatedMachine:
         """Maximum over ranks of the storage high-water mark."""
         return int(self.storage_high_water.max())
 
+    @property
+    def max_retry_words_sent(self) -> int:
+        """Maximum over ranks of words re-sent by re-driven collectives."""
+        return int(self.retry_words_sent.max())
+
+    @property
+    def total_retry_words_sent(self) -> int:
+        """Total network traffic attributable to re-driven collectives."""
+        return int(self.retry_words_sent.sum())
+
+    @property
+    def max_delay_units(self) -> int:
+        """Maximum over ranks of injected latency-spike units."""
+        return int(self.delay_units.max())
+
     def summary(self) -> Dict[str, int]:
         """Dictionary of the headline per-machine statistics."""
         return {
@@ -190,6 +265,9 @@ class SimulatedMachine:
             "max_messages_sent": self.max_messages_sent,
             "max_flops": self.max_flops,
             "max_storage": self.max_storage,
+            "max_retry_words_sent": self.max_retry_words_sent,
+            "total_retry_words_sent": self.total_retry_words_sent,
+            "max_delay_units": self.max_delay_units,
         }
 
     def reset(self) -> None:
@@ -199,4 +277,9 @@ class SimulatedMachine:
         self.messages_sent[:] = 0
         self.flops[:] = 0
         self.storage_high_water[:] = 0
+        self.retry_words_sent[:] = 0
+        self.retry_words_received[:] = 0
+        self.retry_messages_sent[:] = 0
+        self.backoff_units[:] = 0
+        self.delay_units[:] = 0
         self.records.clear()

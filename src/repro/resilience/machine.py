@@ -1,0 +1,89 @@
+"""A :class:`~repro.parallel.machine.SimulatedMachine` that injects faults.
+
+:class:`FaultyMachine` is a drop-in machine for every collective and kernel
+in the repo: it only overrides :meth:`consult_fault`, the hook
+:func:`repro.parallel.collectives._charge_group` polls before charging each
+attempt.  Collectives are numbered globally in execution order (the *step*);
+the step is assigned on an attempt-0 consult and held stable across the
+retries of the same collective, so a :class:`~repro.resilience.faults.FaultSpec`
+targeting ``step=17`` hits the same collective no matter how many times an
+earlier one was re-driven.
+
+Every fault that fires is appended to :attr:`injected` (and counted on the
+``fault.injected`` observe metric), so tests and the ``fault-sweep``
+experiment can assert exactly which faults a seeded schedule produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.observe.instrument import inc as observe_inc
+from repro.parallel.machine import SimulatedMachine
+from repro.resilience.faults import FaultSchedule, FaultSpec, InjectedFault
+
+
+class FaultyMachine(SimulatedMachine):
+    """Simulated machine whose collectives fail per a deterministic schedule.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of processors ``P``.
+    schedule:
+        The :class:`~repro.resilience.faults.FaultSchedule` to inject (an
+        empty schedule makes this machine behave exactly like the base one).
+    local_memory_words:
+        Forwarded to :class:`~repro.parallel.machine.SimulatedMachine`.
+    max_attempts:
+        Override of the retry budget (class default 5).
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        schedule: Optional[FaultSchedule] = None,
+        *,
+        local_memory_words: Optional[int] = None,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(n_procs, local_memory_words=local_memory_words)
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        if max_attempts is not None:
+            self.max_attempts = int(max_attempts)
+        #: Collectives started so far (the next attempt-0 consult gets this id).
+        self.collective_steps = 0
+        #: ``(step, kind, label)`` of every collective, for target selection.
+        self.step_log: List[Tuple[int, str, str]] = []
+        #: Every fault that actually fired, in order.
+        self.injected: List[InjectedFault] = []
+        self._current_step = -1
+
+    def consult_fault(
+        self, kind: str, label: str, group: Sequence[int], attempt: int
+    ) -> Optional[FaultSpec]:
+        if attempt == 0:
+            self._current_step = self.collective_steps
+            self.collective_steps += 1
+            self.step_log.append((self._current_step, kind, label))
+        spec = self.schedule.match(kind, label, group, self._current_step, attempt)
+        if spec is not None:
+            self.injected.append(
+                InjectedFault(
+                    step=self._current_step,
+                    collective=kind,
+                    label=label,
+                    fault_kind=spec.kind,
+                    attempt=attempt,
+                )
+            )
+            observe_inc("fault.injected")
+        return spec
+
+    def reset(self) -> None:
+        """Zero the ledgers and the fault bookkeeping (schedule kept)."""
+        super().reset()
+        self.collective_steps = 0
+        self.step_log.clear()
+        self.injected.clear()
+        self._current_step = -1

@@ -35,6 +35,7 @@ machine ledger matches it word for word (the tests assert ``==``).
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -137,6 +138,66 @@ class DistributedSampledDimtreeKernel(SweepKernel):
         self._gathered: Dict[int, Dict[int, np.ndarray]] = {}
         self._gathered_version: Dict[int, int] = {}
         self.draw_log: List[tuple] = []
+        self._pending_state: Optional[dict] = None
+
+    # -- checkpoint/restore ---------------------------------------------------
+    def capture_state(self) -> Optional[dict]:
+        """RNG position + sampler cache + gate/gathered/tree snapshots."""
+        return {
+            "kind": "parallel-sampled-dimtree",
+            "rng": copy.deepcopy(self._rng.bit_generator.state),
+            "samplers": self.samplers.capture_state(),
+            "draw_log": list(self.draw_log),
+            "gate": self.gate.capture_state() if self.gate is not None else None,
+            "gathered": {
+                k: {r: block.copy() for r, block in blocks.items()}
+                for k, blocks in self._gathered.items()
+            },
+            "gathered_version": dict(self._gathered_version),
+            "trees": {r: tree.capture_state() for r, tree in self._trees.items()},
+        }
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Adopt a snapshot now (RNG) and lazily (caches, next mttkrp)."""
+        self._pending_state = None
+        if state is None:
+            return
+        self._rng.bit_generator.state = copy.deepcopy(state["rng"])
+        if state["gate"] is not None:
+            self._pending_state = state
+        else:
+            self.samplers.restore_state(state["samplers"])
+            self.draw_log = list(state["draw_log"])
+
+    def invalidate_caches(self) -> bool:
+        invalidated = self.samplers.invalidate_all()
+        if self.gate is not None:
+            self._gathered.clear()
+            self._gathered_version.clear()
+            for tree in self._trees.values():
+                tree.invalidate_all()
+            self.gate.invalidate_all()
+            invalidated = True
+        return invalidated
+
+    def _apply_pending(self, factors: Sequence[Optional[np.ndarray]]) -> None:
+        state = self._pending_state
+        self._pending_state = None
+        self.gate.restore_state(state["gate"], factors)
+        self.samplers.restore_state(state["samplers"])
+        self.draw_log = list(state["draw_log"])
+        self._gathered = {
+            k: {r: block.copy() for r, block in blocks.items()}
+            for k, blocks in state["gathered"].items()
+        }
+        self._gathered_version = dict(state["gathered_version"])
+        ndim = len(self.grid.dims)
+        for r, tree in self._trees.items():
+            local = [
+                self._gathered[k][r] if k in self._gathered else None
+                for k in range(ndim)
+            ]
+            tree.restore_state(state["trees"][r], local)
 
     def _ensure_setup(self, data: np.ndarray, rank: int) -> None:
         if self.dist is not None:
@@ -216,6 +277,8 @@ class DistributedSampledDimtreeKernel(SweepKernel):
         if rank is None:
             raise DistributionError("at least one input factor matrix is required")
         self._ensure_setup(data, rank)
+        if self._pending_state is not None:
+            self._apply_pending(factors)
         n_draws = (
             default_sample_count(rank) if self._n_samples is None else self._n_samples
         )

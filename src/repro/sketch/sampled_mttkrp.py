@@ -228,4 +228,7 @@ def make_sampled_kernel(
         )
 
     kernel.__name__ = f"sampled_mttkrp_kernel[{distribution}]"
+    # The owned generator is the closure's only cross-call state; expose it so
+    # PerCallKernel can capture/restore the bit-stream position (ISSUE 10).
+    kernel.rng = rng
     return kernel

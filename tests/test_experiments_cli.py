@@ -16,6 +16,7 @@ class TestRunExperiments:
             "tab-matmul-factors",
             "sketch-crossover",
             "sketch-parallel",
+            "fault-sweep",
         }
 
     def test_quick_subset_report(self):
